@@ -1,0 +1,105 @@
+"""Shared benchmark fixtures: one experiment per subject, paper-scale-ish.
+
+Data collection (running thousands of instrumented trials) happens once
+per session in these fixtures; the ``benchmark`` fixture then times the
+*analysis* (the paper's algorithm), which is the part the paper claims
+scales.  Every bench writes its rendered table to
+``benchmarks/results/``, which is what EXPERIMENTS.md quotes.
+
+Run counts are chosen so each subject's rarest triggered bug appears in
+at least a handful of failing runs; they can be scaled with the
+``REPRO_BENCH_SCALE`` environment variable (a float multiplier).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core.elimination import DiscardStrategy
+from repro.harness.experiment import Experiment, run_experiment
+from repro.subjects.bc import BcSubject
+from repro.subjects.ccrypt import CcryptSubject
+from repro.subjects.exif import ExifSubject
+from repro.subjects.moss import MossSubject
+from repro.subjects.rhythmbox import RhythmboxSubject
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Baseline run counts per subject (paper: ~32,000 each; these are sized
+#: for a laptop while keeping every bug's failure count isolable).
+BASE_RUNS = {
+    "moss": 2500,
+    "ccrypt": 2000,
+    "bc": 1500,
+    "exif": 5000,
+    "rhythmbox": 2000,
+}
+
+_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def bench_runs(subject: str) -> int:
+    """Scaled run count for a subject."""
+    return max(int(BASE_RUNS[subject] * _SCALE), 200)
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / name
+    path.write_text(text + "\n")
+
+
+def _experiment(subject, n_runs, **kwargs):
+    config = Experiment(
+        subject=subject,
+        n_runs=n_runs,
+        sampling=kwargs.pop("sampling", "adaptive"),
+        training_runs=kwargs.pop("training_runs", 150),
+        seed=kwargs.pop("seed", 0),
+        strategy=kwargs.pop("strategy", DiscardStrategy.DISCARD_ALL),
+        max_predictors=kwargs.pop("max_predictors", 20),
+        **kwargs,
+    )
+    return run_experiment(config)
+
+
+@pytest.fixture(scope="session")
+def moss_bench():
+    """The Section 4.1 validation experiment (Tables 1, 3, 9)."""
+    return _experiment(MossSubject(), bench_runs("moss"))
+
+
+@pytest.fixture(scope="session")
+def ccrypt_bench():
+    return _experiment(CcryptSubject(), bench_runs("ccrypt"))
+
+
+@pytest.fixture(scope="session")
+def bc_bench():
+    return _experiment(BcSubject(), bench_runs("bc"))
+
+
+@pytest.fixture(scope="session")
+def exif_bench():
+    return _experiment(ExifSubject(), bench_runs("exif"))
+
+
+@pytest.fixture(scope="session")
+def rhythmbox_bench():
+    return _experiment(RhythmboxSubject(), bench_runs("rhythmbox"))
+
+
+@pytest.fixture(scope="session")
+def all_benches(moss_bench, ccrypt_bench, bc_bench, exif_bench, rhythmbox_bench):
+    """All five experiments, keyed by subject name (Table 2, Table 8)."""
+    return {
+        "moss": moss_bench,
+        "ccrypt": ccrypt_bench,
+        "bc": bc_bench,
+        "exif": exif_bench,
+        "rhythmbox": rhythmbox_bench,
+    }

@@ -1,0 +1,85 @@
+"""Section 5's elimination variants: the three run-discard strategies.
+
+Claims reproduced:
+
+* all three strategies still cover the same substantial bugs;
+* strategy (1) discards the most runs, (3) discards none;
+* after selecting P under any strategy, the complement of P does not
+  retain a negative Increase score (the Section 5 theorem).
+"""
+
+from repro.core.elimination import DiscardStrategy, eliminate
+from repro.core.scores import compute_scores
+from repro.core.truth import dominant_bug
+
+from benchmarks.conftest import write_result
+
+
+def _dominated(exp, elimination, top=10):
+    out = set()
+    for sel in elimination.selected[:top]:
+        dom = dominant_bug(exp.reports, exp.truth, sel.predicate.index)
+        if dom is not None:
+            out.add(dom[0])
+    return out
+
+
+def test_discard_strategy_variants(benchmark, moss_bench):
+    reports = moss_bench.reports
+    candidates = moss_bench.pruning.kept
+
+    results = {}
+    for strategy in DiscardStrategy:
+        results[strategy] = eliminate(
+            reports, candidates=candidates, strategy=strategy, max_predictors=15
+        )
+
+    benchmark.pedantic(
+        lambda: eliminate(
+            reports,
+            candidates=candidates,
+            strategy=DiscardStrategy.RELABEL,
+            max_predictors=15,
+        ),
+        rounds=2,
+        iterations=1,
+    )
+
+    bug_sets = {s: _dominated(moss_bench, r) for s, r in results.items()}
+
+    # Substantial bugs are found under every strategy.
+    substantial = {
+        b
+        for b in moss_bench.truth.bug_ids
+        if int(moss_bench.truth.bug_profile(b, reports).sum()) >= 25
+    }
+    for strategy, bugs in bug_sets.items():
+        missing = substantial - bugs
+        assert len(missing) <= 1, f"{strategy}: missed {missing}"
+
+    # Strategy 1 is the most aggressive discarder; strategy 3 discards
+    # nothing.
+    discarded_1 = sum(s.runs_discarded for s in results[DiscardStrategy.DISCARD_ALL].selected)
+    discarded_2 = sum(
+        s.runs_discarded for s in results[DiscardStrategy.DISCARD_FAILING].selected
+    )
+    discarded_3 = sum(s.runs_discarded for s in results[DiscardStrategy.RELABEL].selected)
+    assert discarded_1 >= discarded_2 >= discarded_3 == 0
+
+    # Section 5 theorem: after strategy-1 selection of P, Increase(~P)
+    # is non-negative where defined.
+    first = results[DiscardStrategy.DISCARD_ALL].selected[0].predicate
+    comp = reports.table.complement(first.index)
+    if comp is not None:
+        remaining = ~reports.true_mask(first.index)
+        after = compute_scores(reports, run_mask=remaining)
+        if after.defined[comp]:
+            assert after.increase[comp] >= -1e-9
+
+    lines = []
+    for strategy, result in results.items():
+        bugs = ", ".join(sorted(bug_sets[strategy]))
+        lines.append(
+            f"{strategy.name}: {len(result)} predictors, bugs: {bugs}"
+        )
+    write_result("discard_strategies.txt", "\n".join(lines))

@@ -1,0 +1,85 @@
+"""Section 2's performance claim: sampling keeps overhead low.
+
+"We have found that a sampling rate of 1/100 in most applications keeps
+the performance overhead of instrumentation low."  In C the transformed
+fast path costs a counter decrement; in Python every observation
+opportunity still pays a call, so our absolute overheads are larger —
+the *ordering* is what we assert: uninstrumented < sparsely sampled <
+fully observed.
+"""
+
+import random
+import time
+
+from repro.instrument.sampling import SamplingPlan
+from repro.instrument.tracer import instrument_source
+from repro.subjects import base as subject_base
+from repro.subjects.moss import MossSubject
+from repro.subjects.moss import program as moss_program
+from repro.subjects.moss.generator import generate_job
+
+from benchmarks.conftest import write_result
+
+_JOBS = 40
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_sampling_overhead_ordering(benchmark):
+    subject = MossSubject()
+    rng = random.Random(7)
+    jobs = [generate_job(rng) for _ in range(_JOBS)]
+
+    def run_uninstrumented():
+        for job in jobs:
+            subject_base.begin_truth_capture()
+            try:
+                moss_program.main(job)
+            except Exception:
+                pass
+            subject_base.end_truth_capture()
+
+    program = instrument_source(subject.source(), "moss-overhead")
+    entry = program.func("main")
+
+    def run_instrumented(plan):
+        def inner():
+            for i, job in enumerate(jobs):
+                subject_base.begin_truth_capture()
+                program.begin_run(plan, seed=i)
+                try:
+                    entry(job)
+                except Exception:
+                    pass
+                program.end_run()
+                subject_base.end_truth_capture()
+        return inner
+
+    base_s = min(_timed(run_uninstrumented) for _ in range(2))
+    sparse_s = min(_timed(run_instrumented(SamplingPlan.uniform(0.01))) for _ in range(2))
+    full_s = min(_timed(run_instrumented(SamplingPlan.full())) for _ in range(2))
+
+    benchmark.pedantic(run_instrumented(SamplingPlan.uniform(0.01)), rounds=1, iterations=1)
+
+    assert base_s < sparse_s < full_s
+    sparse_over = sparse_s / base_s
+    full_over = full_s / base_s
+    # Sparse sampling must recover a substantial share of the full
+    # observation cost.
+    assert sparse_over < full_over * 0.9
+
+    write_result(
+        "instrumentation_overhead.txt",
+        (
+            f"{_JOBS} MOSS jobs\n"
+            f"uninstrumented: {base_s * 1000:8.1f} ms\n"
+            f"sampled 1/100:  {sparse_s * 1000:8.1f} ms ({sparse_over:4.1f}x)\n"
+            f"full observ.:   {full_s * 1000:8.1f} ms ({full_over:4.1f}x)\n"
+            "(Python pays per-opportunity call overhead that C's "
+            "fast path avoids; the ordering is the reproduced claim)"
+        ),
+    )

@@ -1,0 +1,76 @@
+"""Extension bench: on-line failure prediction (Section 5).
+
+After learning predictors offline, monitor fresh runs and measure how
+often a crash is preceded by an in-flight alert (recall) and how often
+alerts are raised in runs that then succeed (false-alarm rate).  For
+CCRYPT's deterministic bug the predictor *is* the cause condition, so
+recall should be essentially perfect with near-zero false alarms.
+"""
+
+import random
+
+from repro.core.online import monitor_from_elimination
+from repro.instrument.sampling import SamplingPlan
+from repro.subjects import base as subject_base
+
+from benchmarks.conftest import write_result
+
+_FRESH_RUNS = 400
+
+
+def test_online_prediction_quality(benchmark, ccrypt_bench):
+    subject = ccrypt_bench.config.subject
+    program = ccrypt_bench.program
+    monitor = monitor_from_elimination(
+        program.runtime, ccrypt_bench.elimination, top=3
+    )
+
+    def replay():
+        monitor.install()
+        rng = random.Random(424242)
+        predicted = missed = false_alarm = clean = 0
+        try:
+            for i in range(_FRESH_RUNS):
+                job = subject.generate_input(rng)
+                monitor.reset()
+                subject_base.begin_truth_capture()
+                program.begin_run(SamplingPlan.full(), seed=5_000_000 + i)
+                crashed = False
+                try:
+                    program.func(subject.entry)(job)
+                except Exception:
+                    crashed = True
+                program.end_run()
+                subject_base.end_truth_capture()
+                if crashed and monitor.fired:
+                    predicted += 1
+                elif crashed:
+                    missed += 1
+                elif monitor.fired:
+                    false_alarm += 1
+                else:
+                    clean += 1
+        finally:
+            monitor.uninstall()
+        return predicted, missed, false_alarm, clean
+
+    predicted, missed, false_alarm, clean = benchmark.pedantic(
+        replay, rounds=1, iterations=1
+    )
+
+    crashes = predicted + missed
+    assert crashes > 0, "the fresh population must contain failures"
+    recall = predicted / crashes
+    assert recall >= 0.9, f"in-flight recall {recall:.2f}"
+    successes = false_alarm + clean
+    assert false_alarm <= successes * 0.05
+
+    write_result(
+        "online_prediction.txt",
+        (
+            f"fresh runs: {_FRESH_RUNS}\n"
+            f"crashes predicted in-flight: {predicted}/{crashes} "
+            f"(recall {recall:.2%})\n"
+            f"false alarms: {false_alarm}/{successes} successful runs"
+        ),
+    )

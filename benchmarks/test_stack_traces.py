@@ -1,0 +1,49 @@
+"""Section 6's stack-trace study: how often do stacks isolate the bug?
+
+"Across all of our experiments, in about half the cases the stack is
+useful in isolating the cause of a bug; in the other half the stack
+contains essentially no information about the bug's cause."  In MOSS
+only the most deterministic bugs had truly unique signature stacks;
+RHYTHMBOX and BC crashed so far from the bad behaviour that stacks were
+of limited or no use.
+"""
+
+from repro.baselines.stacktrace import stack_study
+from repro.harness.tables import format_stack_table
+
+from benchmarks.conftest import write_result
+
+
+def test_stack_signature_usefulness(benchmark, all_benches):
+    moss = all_benches["moss"]
+    study_by_subject = {}
+    for name, exp in all_benches.items():
+        study_by_subject[name] = stack_study(exp.reports, exp.truth)
+
+    benchmark.pedantic(
+        lambda: stack_study(moss.reports, moss.truth), rounds=3, iterations=1
+    )
+
+    triggered = 0
+    useful = 0
+    for name, study in study_by_subject.items():
+        for bug, stats in study.per_bug.items():
+            if stats.failing_runs == 0:
+                continue
+            triggered += 1
+            if stats.has_unique_signature:
+                useful += 1
+
+    fraction = useful / triggered
+    # "about half": anywhere in the broad middle reproduces the claim
+    # that stacks are neither useless nor sufficient.
+    assert 0.2 <= fraction <= 0.85, f"stack usefulness {fraction:.2f}"
+
+    # CCRYPT's deterministic bug has a unique stack (like MOSS bugs 2/5).
+    assert study_by_subject["ccrypt"].per_bug["ccrypt1"].has_unique_signature
+
+    text = "\n\n".join(
+        f"=== {name} ===\n" + format_stack_table(study)
+        for name, study in study_by_subject.items()
+    ) + f"\n\noverall: stacks useful for {useful}/{triggered} triggered bugs"
+    write_result("stack_study.txt", text)

@@ -1,0 +1,90 @@
+"""Table 1: comparison of ranking strategies for MOSS (no elimination).
+
+The paper's qualitative claims, which these benches assert:
+
+(a) sorting by F(P) surfaces predicates true in many failing *and* many
+    successful runs (huge white bands, tiny Increase);
+(b) sorting by Increase(P) surfaces near-deterministic predicates with
+    tiny failure counts (sub-bug predictors);
+(c) the harmonic mean surfaces predicates with both high Increase and
+    substantial failure counts.
+"""
+
+import pytest
+
+from repro.core.ranking import RankingStrategy, rank_predicates
+from repro.harness.tables import format_ranking_table
+
+from benchmarks.conftest import write_result
+
+
+@pytest.fixture(scope="module")
+def rankings(moss_bench):
+    reports = moss_bench.reports
+    return {
+        strategy: rank_predicates(reports, strategy, top=200)
+        for strategy in RankingStrategy
+    }
+
+
+def test_table1a_sort_by_failure_count(benchmark, moss_bench, rankings):
+    reports = moss_bench.reports
+    result = benchmark.pedantic(
+        lambda: rank_predicates(reports, RankingStrategy.BY_FAILURE_COUNT, top=10),
+        rounds=3,
+        iterations=1,
+    )
+    top = rankings[RankingStrategy.BY_FAILURE_COUNT].entries[:10]
+    assert top, "ranking must be non-empty"
+    # High-F predicates are weakly correlated: most carry many
+    # successful runs too (the large white band).
+    with_successes = sum(1 for e in top if e.row.S > e.row.F * 0.5)
+    assert with_successes >= 5
+    # And their Increase scores are far from 1.0.
+    assert sum(1 for e in top if e.row.increase < 0.5) >= 5
+    write_result(
+        "table1a.txt",
+        format_ranking_table(rankings[RankingStrategy.BY_FAILURE_COUNT], "Table 1(a)"),
+    )
+
+
+def test_table1b_sort_by_increase(benchmark, moss_bench, rankings):
+    reports = moss_bench.reports
+    benchmark.pedantic(
+        lambda: rank_predicates(reports, RankingStrategy.BY_INCREASE, top=10),
+        rounds=3,
+        iterations=1,
+    )
+    top = rankings[RankingStrategy.BY_INCREASE].entries[:10]
+    assert top
+    # Near-deterministic thermometers ...
+    assert all(e.row.increase > 0.5 for e in top)
+    # ... but tiny failure counts relative to the population (sub-bug
+    # predictors): compare against strategy (c)'s coverage.
+    best_f_by_importance = max(
+        e.row.F for e in rankings[RankingStrategy.BY_IMPORTANCE].entries[:10]
+    )
+    median_f = sorted(e.row.F for e in top)[len(top) // 2]
+    assert median_f <= best_f_by_importance
+    write_result(
+        "table1b.txt",
+        format_ranking_table(rankings[RankingStrategy.BY_INCREASE], "Table 1(b)"),
+    )
+
+
+def test_table1c_harmonic_mean(benchmark, moss_bench, rankings):
+    reports = moss_bench.reports
+    benchmark.pedantic(
+        lambda: rank_predicates(reports, RankingStrategy.BY_IMPORTANCE, top=10),
+        rounds=3,
+        iterations=1,
+    )
+    top = rankings[RankingStrategy.BY_IMPORTANCE].entries[:10]
+    assert top
+    # Balanced: good Increase AND meaningful failure coverage.
+    assert all(e.row.increase > 0.2 for e in top[:5])
+    assert sum(e.row.F for e in top[:5]) >= 40
+    write_result(
+        "table1c.txt",
+        format_ranking_table(rankings[RankingStrategy.BY_IMPORTANCE], "Table 1(c)"),
+    )

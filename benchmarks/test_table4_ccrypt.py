@@ -1,0 +1,49 @@
+"""Table 4: predictors for CCRYPT.
+
+Paper shape: a one-bug subject yields a very short predictor list (the
+paper got two predicates, the first a sub-bug predictor of the second,
+recognisable from its affinity list), all pointing at the single
+input-validation bug, which is deterministic.
+"""
+
+from repro.core.affinity import affinity_list
+from repro.core.truth import cooccurrence_table, dominant_bug
+from repro.harness.tables import format_predictor_table
+
+from benchmarks.conftest import write_result
+
+
+def test_table4_ccrypt(benchmark, ccrypt_bench):
+    reports, truth = ccrypt_bench.reports, ccrypt_bench.truth
+    elimination = ccrypt_bench.elimination
+    selected = [s.predicate.index for s in elimination.selected]
+    assert 1 <= len(selected) <= 6
+
+    # Every selected predictor points at the single bug.
+    for idx in selected:
+        dom = dominant_bug(reports, truth, idx)
+        assert dom is not None and dom[0] == "ccrypt1"
+
+    # The bug is deterministic with respect to its top predictor:
+    # Failure(P) = 1.0 (S = 0).
+    top = elimination.selected[0]
+    assert top.effective.row.S == 0
+    assert top.effective.row.failure == 1.0
+
+    # Affinity: when several predicates are selected, the later ones are
+    # related to the first (the paper's sub-bug identification); the
+    # anchor's removal must deflate them heavily.
+    entries = benchmark.pedantic(
+        lambda: affinity_list(reports, selected[0], top=10),
+        rounds=2,
+        iterations=1,
+    )
+    if len(selected) > 1:
+        related = {e.predicate.index for e in entries}
+        assert selected[1] in related
+
+    co = cooccurrence_table(reports, truth, selected)
+    write_result(
+        "table4.txt",
+        format_predictor_table(elimination, co, bug_ids=list(truth.bug_ids)),
+    )

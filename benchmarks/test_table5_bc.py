@@ -1,0 +1,49 @@
+"""Table 5: predictors for BC.
+
+Paper shape: a short list pointing at the ``more_arrays`` overrun, whose
+predicates relate the scalar-variable and array counts ("a_names <
+v_names", "old_count == 32"); and "this bug causes a crash long after
+the overrun occurs and there is no useful information on the stack".
+"""
+
+from collections import Counter
+
+from repro.core.truth import cooccurrence_table, dominant_bug
+from repro.harness.tables import format_predictor_table
+
+from benchmarks.conftest import write_result
+
+
+def test_table5_bc(benchmark, bc_bench):
+    reports, truth = bc_bench.reports, bc_bench.truth
+    elimination = bc_bench.elimination
+    selected = [s.predicate.index for s in elimination.selected]
+    assert selected
+
+    def analyse():
+        return [dominant_bug(reports, truth, idx) for idx in selected]
+
+    dominants = benchmark.pedantic(analyse, rounds=2, iterations=1)
+    for dom in dominants:
+        assert dom is not None and dom[0] == "bc1"
+
+    # The predictors relate storage counts, like the paper's
+    # "a_names < v_names": scalar-pair predicates over count variables.
+    names = " | ".join(
+        reports.table.predicates[idx].name for idx in selected[:4]
+    )
+    count_tokens = ("count", "cap", "v_", "a_", "slot", "new_cap", "i")
+    assert any(tok in names for tok in count_tokens), names
+
+    # Crash long after the overrun: the top-of-stack function at crash
+    # time is usually NOT more_arrays.
+    stacks = [s for s in reports.stacks if s]
+    assert stacks
+    tops = Counter(s[-2] if len(s) >= 2 else s[-1] for s in stacks)
+    assert tops.get("more_arrays", 0) < len(stacks) * 0.5
+
+    co = cooccurrence_table(reports, truth, selected)
+    write_result(
+        "table5.txt",
+        format_predictor_table(elimination, co, bug_ids=list(truth.bug_ids)),
+    )

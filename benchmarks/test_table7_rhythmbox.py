@@ -1,0 +1,45 @@
+"""Table 7: predictors for RHYTHMBOX.
+
+Paper shape: an event-driven system where stacks are useless (every
+crash bottoms out in the main loop), yet the predictor list isolates the
+timer race and the unsafe view-disposal pattern as distinct bugs.
+"""
+
+from repro.core.truth import cooccurrence_table, dominant_bug
+from repro.harness.tables import format_predictor_table
+
+from benchmarks.conftest import write_result
+
+
+def test_table7_rhythmbox(benchmark, rhythmbox_bench):
+    reports, truth = rhythmbox_bench.reports, rhythmbox_bench.truth
+    elimination = rhythmbox_bench.elimination
+    selected = [s.predicate.index for s in elimination.selected]
+    assert selected
+
+    def analyse():
+        dominated = {}
+        for idx in selected:
+            dom = dominant_bug(reports, truth, idx)
+            if dom is not None:
+                dominated.setdefault(dom[0], idx)
+        return dominated
+
+    dominated = benchmark.pedantic(analyse, rounds=2, iterations=1)
+    assert "rb1" in dominated, "the timer race must be isolated"
+    assert "rb2" in dominated, "the disposal pattern must be isolated"
+
+    # Stack uselessness: every crash goes through the unchanging event
+    # loop, so distinct bugs share the loop frames.
+    stacks = [s for s in reports.stacks if s]
+    assert stacks
+    assert all("main_loop" in s for s in stacks)
+    # ... and the number of distinct signatures is small relative to the
+    # number of crashes.
+    assert len(set(stacks)) <= max(len(stacks) // 4, 8)
+
+    co = cooccurrence_table(reports, truth, selected)
+    write_result(
+        "table7.txt",
+        format_predictor_table(elimination, co, bug_ids=list(truth.bug_ids)),
+    )

@@ -1,0 +1,68 @@
+"""Reproducing the paper's worked example (Section 4.2.3): EXIF.
+
+Shows the full debugging workflow on the EXIF analogue:
+
+1. the crash stacks alone point at the *save* path (memcpy) and give
+   little insight;
+2. the isolation algorithm's predictor points at ``o + s > buf_size``
+   in the *load* path -- the actual cause;
+3. the predictor's affinity list surfaces the related predicates an
+   engineer would inspect next.
+
+Run with:  python examples/exif_bug_hunt.py [n_runs]
+"""
+
+import sys
+from collections import Counter
+
+from repro.core.affinity import affinity_list
+from repro.core.truth import cooccurrence_table, dominant_bug
+from repro.harness.experiment import Experiment, run_experiment
+from repro.harness.tables import format_predictor_table
+from repro.subjects.exif import ExifSubject
+
+
+def main(n_runs: int = 4000) -> None:
+    subject = ExifSubject()
+    print(f"running {n_runs} random EXIF blobs...")
+    result = run_experiment(
+        Experiment(
+            subject=subject,
+            n_runs=n_runs,
+            sampling="adaptive",
+            training_runs=150,
+            seed=0,
+            max_predictors=10,
+        )
+    )
+    reports, truth = result.reports, result.truth
+
+    print("\n== step 1: what the crash stacks say ==")
+    stacks = Counter(s for s in reports.stacks if s)
+    for stack, count in stacks.most_common(5):
+        print(f"  {count:>4d} x  {' -> '.join(stack)}")
+    print("  (the maker-note crash is inside mnote_canon_save/memcpy -- "
+          "nowhere near the cause)")
+
+    print("\n== step 2: what statistical debugging says (Table 6) ==")
+    selected = [s.predicate.index for s in result.elimination.selected]
+    co = cooccurrence_table(reports, truth, selected)
+    print(format_predictor_table(result.elimination, co, bug_ids=subject.bug_ids))
+
+    print("\n== step 3: affinity list of the top predictor ==")
+    if selected:
+        top = selected[0]
+        dom = dominant_bug(reports, truth, top)
+        print(f"anchor: {reports.table.predicates[top].name} "
+              f"(dominant bug: {dom[0] if dom else '?'})")
+        for entry in affinity_list(
+            reports, top, candidates=result.pruning.kept, top=6
+        ):
+            print(f"  drop {entry.drop:6.3f}  {entry.predicate.name}")
+
+    print("\nEach predictor points at a distinct bug; the exif3 predictor "
+          "is the load-phase bounds check, matching the paper's analysis.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4000)

@@ -1,0 +1,88 @@
+"""Section 5 extension: using failure predictors on-line.
+
+"Knowing that a strong predictor of program failure has become true may
+enable preemptive action."
+
+Workflow demonstrated here on CCRYPT:
+
+1. run an offline experiment to learn the top failure predictors;
+2. install an :class:`~repro.core.online.OnlineMonitor` watching them;
+3. replay fresh runs: the monitor raises the alarm the moment the
+   cause condition (stdin exhausted at the overwrite prompt) is
+   observed -- before the crash -- so a supervisor could, e.g., decline
+   the overwrite instead of dying.
+
+Run with:  python examples/online_monitor.py
+"""
+
+import random
+
+from repro.core.online import monitor_from_elimination
+from repro.harness.experiment import Experiment, run_experiment
+from repro.instrument.sampling import SamplingPlan
+from repro.subjects.ccrypt import CcryptSubject
+from repro.subjects import base
+
+
+def main() -> None:
+    subject = CcryptSubject()
+    print("phase 1: learning predictors offline (1,000 runs)...")
+    result = run_experiment(
+        Experiment(
+            subject=subject,
+            n_runs=1000,
+            sampling="adaptive",
+            training_runs=100,
+            seed=0,
+            max_predictors=3,
+        )
+    )
+    for sel in result.elimination.selected:
+        print(f"  learned: imp={sel.effective.importance:.3f} "
+              f"{sel.predicate.name}")
+
+    print("\nphase 2: monitoring fresh runs...")
+    program = result.program
+    monitor = monitor_from_elimination(program.runtime, result.elimination, top=3)
+    monitor.install()
+
+    rng = random.Random(999)
+    predicted_crashes = 0
+    unpredicted_crashes = 0
+    false_alarms = 0
+    clean = 0
+    try:
+        for i in range(400):
+            job = subject.generate_input(rng)
+            monitor.reset()
+            base.begin_truth_capture()
+            program.begin_run(SamplingPlan.full(), seed=10_000 + i)
+            crashed = False
+            try:
+                program.func(subject.entry)(job)
+            except Exception:
+                crashed = True
+            program.end_run()
+            base.end_truth_capture()
+            if crashed and monitor.fired:
+                predicted_crashes += 1
+            elif crashed:
+                unpredicted_crashes += 1
+            elif monitor.fired:
+                false_alarms += 1
+            else:
+                clean += 1
+    finally:
+        monitor.uninstall()
+
+    total_crashes = predicted_crashes + unpredicted_crashes
+    print(f"  crashes predicted in-flight: {predicted_crashes}/{total_crashes}")
+    print(f"  false alarms: {false_alarms}, clean runs: {clean}")
+    if monitor.alerts:
+        print(f"  last alert: {monitor.alerts[-1].predicate.name}")
+    print("\nEvery crash should be preceded by an alert (the predictor is "
+          "the cause condition), with few or no false alarms.")
+
+
+if __name__ == "__main__":
+    main()

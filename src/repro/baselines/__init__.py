@@ -1,0 +1,19 @@
+"""Comparison techniques the paper evaluates against.
+
+* :mod:`repro.baselines.logistic` -- the L1-regularised logistic
+  regression of the authors' earlier work, whose MOSS top-10 (Table 9)
+  consists entirely of sub-bug and super-bug predictors;
+* :mod:`repro.baselines.stacktrace` -- current industrial practice:
+  bucketing failures by crash stack signature (Section 6's analysis of
+  when stacks do and do not isolate a cause).
+"""
+
+from repro.baselines.logistic import LogisticResult, l1_logistic_regression
+from repro.baselines.stacktrace import StackStudy, stack_study
+
+__all__ = [
+    "l1_logistic_regression",
+    "LogisticResult",
+    "stack_study",
+    "StackStudy",
+]

@@ -1,0 +1,135 @@
+"""Stack-trace bucketing: current industrial practice (Section 6).
+
+"Two crash reports showing the same stack trace, or perhaps only the same
+top-of-stack function, are presumed to be two reports of the same
+failure."  The paper measures how often that heuristic actually isolates
+a cause: a bug's stack signature is useful when it is *unique* -- present
+if and only if that bug was triggered.  Across the paper's experiments
+roughly half the bugs had useful stacks.
+
+This module reproduces that study over a report population with ground
+truth: for each bug, compute how concentrated its failures' signatures
+are and whether any signature is unique to it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.reports import ReportSet
+from repro.core.truth import GroundTruth
+
+
+def signature_of(stack: Optional[Tuple[str, ...]], top_only: bool = False) -> Optional[Tuple[str, ...]]:
+    """Normalise a crash stack into a bucketing signature.
+
+    ``top_only`` keeps just the innermost program frame (the
+    "same top-of-stack function" variant).
+    """
+    if stack is None or len(stack) == 0:
+        return None
+    if top_only:
+        # Last entry is the exception type; the frame before it is the
+        # innermost program function.
+        frames = stack[:-1]
+        top = frames[-1] if frames else stack[-1]
+        return (top,)
+    return tuple(stack)
+
+
+@dataclass
+class BugStackStats:
+    """Stack statistics for one bug.
+
+    Attributes:
+        bug_id: The bug.
+        failing_runs: Failures in which the bug occurred.
+        signatures: Signature -> count over those failures.
+        unique_signatures: Signatures that appear *only* in this bug's
+            failures (and in every one of the paper's senses identify it).
+        has_unique_signature: Whether some signature is present iff this
+            bug was triggered -- the paper's criterion for a "truly
+            unique signature stack".
+        dominant_share: Fraction of the bug's failures carrying its most
+            common signature (1.0 = perfectly consistent crashes).
+    """
+
+    bug_id: str
+    failing_runs: int
+    signatures: Dict[Tuple[str, ...], int]
+    unique_signatures: List[Tuple[str, ...]]
+    has_unique_signature: bool
+    dominant_share: float
+
+
+@dataclass
+class StackStudy:
+    """The full Section 6 stack study for one experiment."""
+
+    per_bug: Dict[str, BugStackStats]
+    n_signatures: int
+
+    @property
+    def useful_fraction(self) -> float:
+        """Fraction of triggered bugs with a unique signature.
+
+        The paper reports "in about half the cases the stack is useful".
+        """
+        bugs = [b for b in self.per_bug.values() if b.failing_runs > 0]
+        if not bugs:
+            return 0.0
+        return sum(1 for b in bugs if b.has_unique_signature) / len(bugs)
+
+
+def stack_study(
+    reports: ReportSet, truth: GroundTruth, top_only: bool = False
+) -> StackStudy:
+    """Run the stack-signature uniqueness analysis.
+
+    Args:
+        reports: The run population (failing runs carry crash stacks).
+        truth: Ground-truth bug occurrences.
+        top_only: Bucket by top-of-stack function instead of full stack.
+
+    Returns:
+        A :class:`StackStudy`.
+    """
+    sig_bugs: Dict[Tuple[str, ...], set] = defaultdict(set)
+    per_bug_sigs: Dict[str, Counter] = {b: Counter() for b in truth.bug_ids}
+    per_bug_fail: Dict[str, int] = {b: 0 for b in truth.bug_ids}
+
+    for i in range(reports.n_runs):
+        if not reports.failed[i]:
+            continue
+        sig = signature_of(reports.stacks[i], top_only=top_only)
+        bugs = truth.occurrences[i]
+        for bug in bugs:
+            per_bug_fail[bug] += 1
+            if sig is not None:
+                per_bug_sigs[bug][sig] += 1
+        if sig is not None:
+            if bugs:
+                sig_bugs[sig].update(bugs)
+            else:
+                sig_bugs[sig].add("<unattributed>")
+
+    per_bug: Dict[str, BugStackStats] = {}
+    for bug in truth.bug_ids:
+        sigs = per_bug_sigs[bug]
+        unique = [s for s in sigs if sig_bugs[s] == {bug}]
+        total = sum(sigs.values())
+        dominant = max(sigs.values()) / total if total else 0.0
+        # "Unique signature stack: a crash location present if and only
+        # if the corresponding bug was actually triggered."
+        has_unique = bool(unique)
+        per_bug[bug] = BugStackStats(
+            bug_id=bug,
+            failing_runs=per_bug_fail[bug],
+            signatures=dict(sigs),
+            unique_signatures=unique,
+            has_unique_signature=has_unique,
+            dominant_share=dominant,
+        )
+    return StackStudy(per_bug=per_bug, n_signatures=len(sig_bugs))

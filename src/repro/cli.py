@@ -1,0 +1,191 @@
+"""Command-line interface: run a bug-isolation experiment and print tables.
+
+Examples::
+
+    repro-cbi list
+    repro-cbi run --subject moss --runs 2000 --sampling adaptive
+    repro-cbi run --subject exif --runs 3000 --strategy 2 --top 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Type
+
+from repro.core.elimination import DiscardStrategy
+from repro.core.truth import cooccurrence_table
+from repro.harness.experiment import Experiment, run_experiment
+from repro.harness.tables import format_predictor_table, format_summary_table
+from repro.subjects.base import Subject
+from repro.subjects.bc import BcSubject
+from repro.subjects.ccrypt import CcryptSubject
+from repro.subjects.exif import ExifSubject
+from repro.subjects.moss import MossSubject
+from repro.subjects.rhythmbox import RhythmboxSubject
+
+#: All registered subjects, keyed by CLI name.
+SUBJECTS: Dict[str, Type[Subject]] = {
+    "moss": MossSubject,
+    "ccrypt": CcryptSubject,
+    "bc": BcSubject,
+    "exif": ExifSubject,
+    "rhythmbox": RhythmboxSubject,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cbi",
+        description="Scalable Statistical Bug Isolation (PLDI 2005) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available subject programs")
+
+    run = sub.add_parser("run", help="run one bug-isolation experiment")
+    run.add_argument("--subject", choices=sorted(SUBJECTS), required=True)
+    run.add_argument("--runs", type=int, default=2000, help="number of trials")
+    run.add_argument(
+        "--sampling",
+        choices=["uniform", "adaptive", "full"],
+        default="adaptive",
+        help="sampling regime (paper default: adaptive nonuniform)",
+    )
+    run.add_argument("--rate", type=float, default=0.01, help="uniform sampling rate")
+    run.add_argument(
+        "--training-runs", type=int, default=200, help="adaptive training set size"
+    )
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--strategy",
+        type=int,
+        choices=[1, 2, 3],
+        default=1,
+        help="elimination discard strategy (Section 5)",
+    )
+    run.add_argument("--top", type=int, default=15, help="max predictors to report")
+    run.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for trial collection (bit-identical to serial)",
+    )
+    run.add_argument(
+        "--html",
+        metavar="PATH",
+        default=None,
+        help="also write an interactive-style HTML report",
+    )
+    run.add_argument(
+        "--save",
+        metavar="PATH",
+        default=None,
+        help="save the collected feedback reports (+ ground truth) as .npz",
+    )
+
+    analyze = sub.add_parser(
+        "analyze", help="re-analyse a saved feedback-report archive"
+    )
+    analyze.add_argument("archive", help="path written by `run --save`")
+    analyze.add_argument("--top", type=int, default=15)
+    analyze.add_argument(
+        "--strategy", type=int, choices=[1, 2, 3], default=1,
+        help="elimination discard strategy (Section 5)",
+    )
+    analyze.add_argument(
+        "--method", choices=["interval", "ztest"], default="interval",
+        help="pruning filter (Section 3.1 interval or Section 3.2 z-test)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(SUBJECTS):
+            subject = SUBJECTS[name]()
+            print(f"{name:<12} bugs: {', '.join(subject.bug_ids)}")
+        return 0
+
+    if args.command == "analyze":
+        return _analyze(args)
+
+    subject = SUBJECTS[args.subject]()
+    config = Experiment(
+        subject=subject,
+        n_runs=args.runs,
+        sampling=args.sampling,
+        rate=args.rate,
+        training_runs=args.training_runs,
+        seed=args.seed,
+        strategy=DiscardStrategy(args.strategy),
+        max_predictors=args.top,
+        jobs=args.jobs,
+    )
+    print(f"running {args.runs} trials of {args.subject} "
+          f"({args.sampling} sampling)...", file=sys.stderr)
+    result = run_experiment(config)
+
+    print(format_summary_table([result.summary()]))
+    print()
+    co = cooccurrence_table(
+        result.reports,
+        result.truth,
+        [s.predicate.index for s in result.elimination.selected],
+    )
+    print(
+        format_predictor_table(
+            result.elimination, co, bug_ids=list(subject.bug_ids)
+        )
+    )
+    if args.html:
+        from repro.harness.report import write_report
+
+        write_report(result, args.html)
+        print(f"wrote HTML report to {args.html}", file=sys.stderr)
+    if args.save:
+        from repro.core.io import save_reports
+
+        save_reports(args.save, result.reports, result.truth)
+        print(f"saved feedback reports to {args.save}", file=sys.stderr)
+    return 0
+
+
+def _analyze(args) -> int:
+    """Re-run the analysis half of the pipeline on a saved archive."""
+    from repro.core.elimination import eliminate
+    from repro.core.io import load_reports
+    from repro.core.pruning import prune_predicates
+
+    reports, truth = load_reports(args.archive)
+    print(
+        f"loaded {reports.n_runs} runs ({reports.num_failing} failing), "
+        f"{reports.n_predicates} predicates",
+        file=sys.stderr,
+    )
+    pruning = prune_predicates(reports, method=args.method)
+    elimination = eliminate(
+        reports,
+        candidates=pruning.kept,
+        strategy=DiscardStrategy(args.strategy),
+        max_predictors=args.top,
+    )
+    co = None
+    bug_ids = None
+    if truth is not None and truth.bug_ids:
+        bug_ids = list(truth.bug_ids)
+        co = cooccurrence_table(
+            reports, truth, [s.predicate.index for s in elimination.selected]
+        )
+    print(
+        f"pruning kept {pruning.n_kept}/{pruning.n_initial} predicates; "
+        f"elimination selected {len(elimination)}"
+    )
+    print(format_predictor_table(elimination, co, bug_ids=bug_ids))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

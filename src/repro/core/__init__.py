@@ -1,0 +1,27 @@
+"""The cause isolation algorithm (Sections 3 and 5 of the paper).
+
+Submodules are intentionally small and composable:
+
+``predicates``
+    Static model of instrumentation sites and the predicates they carry.
+``reports``
+    Feedback reports (``R(P)`` bit vectors plus observation counts).
+``scores``
+    ``Failure`` / ``Context`` / ``Increase`` and their statistics.
+``importance``
+    The harmonic-mean ranking metric with delta-method intervals.
+``pruning``
+    The ``Increase(P) > 0`` confidence-interval filter.
+``elimination``
+    Iterative redundancy elimination with the three discard strategies.
+``affinity``
+    Affinity lists relating selected predictors to their shadows.
+``ranking``
+    The three ranking strategies compared in Table 1.
+``thermometer``
+    Bug-thermometer visualisation.
+``runs_needed``
+    The Table 8 "how many runs are needed" estimator.
+``truth``
+    Ground-truth bug profiles for controlled experiments.
+"""

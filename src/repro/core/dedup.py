@@ -1,0 +1,82 @@
+"""Intra-site logical redundancy elimination (the Section 3.4 ablation).
+
+"Finally, we studied an optimization in which we eliminated logically
+redundant predicates within instrumentation sites prior to running the
+iterative algorithm.  However, the elimination algorithm proved to be
+sufficiently powerful that we obtained nearly identical experimental
+results with and without this optimization, indicating it is
+unnecessary."
+
+Two predicates are *logically redundant* here when they were observed
+true in exactly the same set of runs.  Within a site that happens
+constantly: e.g. a return value that is always positive makes ``> 0``,
+``>= 0`` and ``!= 0`` indistinguishable.  This module implements the
+optimisation so the ablation benchmark can reproduce the paper's
+"nearly identical" finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.reports import ReportSet
+
+
+@dataclass
+class DedupResult:
+    """Outcome of intra-site deduplication.
+
+    Attributes:
+        representative: Boolean mask of predicates kept (one
+            representative per equivalence class per site).
+        class_of: For each predicate, the index of its representative
+            (itself when kept).
+        n_classes: Number of equivalence classes across all sites.
+    """
+
+    representative: np.ndarray
+    class_of: np.ndarray
+    n_classes: int
+
+    @property
+    def n_removed(self) -> int:
+        """Predicates dropped as intra-site duplicates."""
+        return int((~self.representative).sum())
+
+
+def intra_site_dedup(reports: ReportSet) -> DedupResult:
+    """Group same-site predicates with identical ``R(P)`` run patterns.
+
+    The earliest predicate of each class (the lowest offset in the
+    family) is kept as the representative; the rest are marked
+    redundant.  Predicates never observed true form one class per site
+    and keep a single representative, since they are all equally
+    uninformative.
+
+    Returns:
+        A :class:`DedupResult` usable as an ``eliminate`` candidate mask
+        (``result.representative & pruning.kept``).
+    """
+    n_preds = reports.n_predicates
+    representative = np.ones(n_preds, dtype=bool)
+    class_of = np.arange(n_preds, dtype=np.int64)
+    n_classes = 0
+
+    for site_index in range(reports.table.n_sites):
+        family = reports.table.predicate_indices_at(site_index)
+        seen: Dict[Tuple[int, ...], int] = {}
+        for pred in family:
+            pattern = tuple(reports.runs_where_true(pred).tolist())
+            rep = seen.get(pattern)
+            if rep is None:
+                seen[pattern] = pred
+                n_classes += 1
+            else:
+                representative[pred] = False
+                class_of[pred] = rep
+    return DedupResult(
+        representative=representative, class_of=class_of, n_classes=n_classes
+    )

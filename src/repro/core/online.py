@@ -1,0 +1,166 @@
+"""On-line use of failure predictors (Section 5 / Section 6).
+
+"It is interesting to consider applications in which the predictors are
+used on-line by the running program; for example, knowing that a strong
+predictor of program failure has become true may enable preemptive
+action."  (Section 5; Section 6 relates this to proactive-maintenance
+systems like the SDF.)
+
+:class:`OnlineMonitor` watches a set of selected predictors during a
+single instrumented run and fires a callback the first time any of them
+is observed true -- typically long before the eventual crash, since the
+Increase-based predictors capture the *cause* condition, not the crash
+site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.predicates import Predicate
+from repro.instrument.runtime import Runtime
+
+
+@dataclass
+class Alert:
+    """One predictor firing during a monitored run.
+
+    Attributes:
+        predicate: The predictor that turned true.
+        importance: Its importance score from the offline analysis.
+        observation_index: How many observations (of watched sites) had
+            been made when it fired -- a proxy for "how early".
+    """
+
+    predicate: Predicate
+    importance: float
+    observation_index: int
+
+
+class OnlineMonitor:
+    """Watches selected predictors during a run of an instrumented program.
+
+    The monitor wraps the runtime's observation helpers; the program
+    itself is untouched.  Usage::
+
+        monitor = OnlineMonitor(program.runtime,
+                                {pred_index: importance, ...},
+                                on_alert=take_preemptive_action)
+        monitor.install()
+        program.begin_run(plan, seed)
+        entry(job)               # on_alert fires as soon as a predictor
+        monitor.uninstall()      # is observed true
+
+    Alerts fire at most once per predictor per run.
+    """
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        watched: Dict[int, float],
+        on_alert: Optional[Callable[[Alert], None]] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.watched = dict(watched)
+        self.on_alert = on_alert
+        self.alerts: List[Alert] = []
+        self._fired: set = set()
+        self._observations = 0
+        self._installed = False
+        self._orig_branch = None
+        self._orig_ret = None
+        self._orig_pairs = None
+        # predicate index -> (site, offset) for quick checks
+        table = runtime.table
+        self._by_site: Dict[int, List[int]] = {}
+        for pred_index in self.watched:
+            pred = table.predicates[pred_index]
+            self._by_site.setdefault(pred.site_index, []).append(pred_index)
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        """Wrap the runtime's observation helpers."""
+        if self._installed:
+            return
+        self._installed = True
+        self._orig_branch = self.runtime.branch
+        self._orig_ret = self.runtime.ret
+        self._orig_pairs = self.runtime.pairs
+
+        def branch(site, value):
+            result = self._orig_branch(site, value)
+            if site in self._by_site:
+                self._observations += 1
+                self._check(site)
+            return result
+
+        def ret(site, value):
+            result = self._orig_ret(site, value)
+            if site in self._by_site:
+                self._observations += 1
+                self._check(site)
+            return result
+
+        def pairs(sites, x, ys):
+            self._orig_pairs(sites, x, ys)
+            for site in sites:
+                if site in self._by_site:
+                    self._observations += 1
+                    self._check(site)
+
+        self.runtime.branch = branch  # type: ignore[method-assign]
+        self.runtime.ret = ret  # type: ignore[method-assign]
+        self.runtime.pairs = pairs  # type: ignore[method-assign]
+
+    def uninstall(self) -> None:
+        """Restore the runtime's original helpers.
+
+        The wrappers live as instance attributes shadowing the class
+        methods, so removal restores the originals exactly.
+        """
+        if not self._installed:
+            return
+        for name in ("branch", "ret", "pairs"):
+            try:
+                delattr(self.runtime, name)
+            except AttributeError:
+                pass
+        self._installed = False
+
+    def reset(self) -> None:
+        """Clear per-run state (call between runs)."""
+        self.alerts = []
+        self._fired = set()
+        self._observations = 0
+
+    @property
+    def fired(self) -> bool:
+        """Whether any watched predictor has fired this run."""
+        return bool(self.alerts)
+
+    # ------------------------------------------------------------------
+    def _check(self, site: int) -> None:
+        true_counts = self.runtime._true
+        for pred_index in self._by_site[site]:
+            if pred_index in self._fired:
+                continue
+            if true_counts[pred_index] > 0:
+                self._fired.add(pred_index)
+                alert = Alert(
+                    predicate=self.runtime.table.predicates[pred_index],
+                    importance=self.watched[pred_index],
+                    observation_index=self._observations,
+                )
+                self.alerts.append(alert)
+                if self.on_alert is not None:
+                    self.on_alert(alert)
+
+
+def monitor_from_elimination(runtime: Runtime, elimination, top: int = 5) -> OnlineMonitor:
+    """Build a monitor watching an elimination result's top predictors."""
+    watched = {
+        sel.predicate.index: sel.effective.importance
+        for sel in elimination.selected[:top]
+    }
+    return OnlineMonitor(runtime, watched)

@@ -1,0 +1,105 @@
+"""The ``Increase(P) > 0`` pruning filter (Section 3.1).
+
+"Nearly all predicates (often 98% or 99%) are not predictive of anything.
+These non-predictors are best identified and discarded as quickly as
+possible."  The paper retains a predicate only if the 95% confidence
+interval of its ``Increase`` score lies strictly above zero, which both
+discards irrelevant predicates (unreachable ones, program invariants,
+predicates control-dependent on a true cause) and removes high-``Increase``
+predicates supported by too few observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.reports import ReportSet
+from repro.core.scores import DEFAULT_CONFIDENCE, PredicateScores, compute_scores
+
+
+@dataclass
+class PruningResult:
+    """Outcome of the pruning pass.
+
+    Attributes:
+        kept: Boolean mask over predicates that survive.
+        scores: The :class:`PredicateScores` the decision was based on.
+        n_initial: Number of predicates before pruning.
+        n_kept: Number of survivors.
+    """
+
+    kept: np.ndarray
+    scores: PredicateScores
+
+    @property
+    def n_initial(self) -> int:
+        """Number of predicates considered."""
+        return int(self.kept.shape[0])
+
+    @property
+    def n_kept(self) -> int:
+        """Number of predicates retained."""
+        return int(self.kept.sum())
+
+    @property
+    def kept_indices(self) -> np.ndarray:
+        """Dense indices of the surviving predicates."""
+        return np.flatnonzero(self.kept)
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of predicates discarded (the paper reports ~0.99)."""
+        if self.n_initial == 0:
+            return 0.0
+        return 1.0 - self.n_kept / self.n_initial
+
+
+def prune_predicates(
+    reports: ReportSet,
+    confidence: float = DEFAULT_CONFIDENCE,
+    scores: Optional[PredicateScores] = None,
+    min_true_runs: int = 1,
+    method: str = "interval",
+) -> PruningResult:
+    """Keep predicates whose ``Increase`` is credibly positive.
+
+    Two equivalent-in-spirit filters are provided:
+
+    * ``"interval"`` (the paper's): keep ``P`` when the two-sided
+      ``confidence`` interval of ``Increase(P)`` lies strictly above 0;
+    * ``"ztest"`` (the Section 3.2 reading): keep ``P`` when the
+      one-sided two-proportion test rejects ``H0: pf = ps`` in favour of
+      ``H1: pf > ps`` at level ``alpha = 1 - confidence``.
+
+    Section 3.2 shows ``Increase(P) > 0  <=>  pf(P) > ps(P)``, so the two
+    filters agree on direction and differ only in how they weigh sample
+    size.
+
+    Args:
+        reports: The feedback-report population.
+        confidence: Confidence level (paper: 0.95).
+        scores: Optional precomputed scores for the same population.
+        min_true_runs: Additionally require at least this many runs with
+            ``R(P) = 1`` (1 keeps the paper's behaviour; higher values are
+            an extension for extremely noisy data).
+        method: ``"interval"`` or ``"ztest"``.
+
+    Returns:
+        A :class:`PruningResult`.
+    """
+    if scores is None:
+        scores = compute_scores(reports, confidence=confidence)
+    if method == "interval":
+        positive = scores.increase_lo > 0.0
+    elif method == "ztest":
+        from scipy import stats
+
+        critical = float(stats.norm.ppf(confidence))  # one-sided
+        positive = (scores.z > critical) & (scores.increase > 0.0)
+    else:
+        raise ValueError(f"unknown pruning method {method!r}")
+    kept = scores.defined & positive & (scores.F + scores.S >= min_true_runs)
+    return PruningResult(kept=np.asarray(kept, dtype=bool), scores=scores)

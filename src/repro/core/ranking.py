@@ -1,0 +1,118 @@
+"""The three ranking strategies compared in Table 1 (Section 3.3).
+
+Table 1 contrasts, for MOSS without redundancy elimination:
+
+(a) sort descending by ``F(P)`` -- favours super-bug-style predicates that
+    appear in many failing *and* many successful runs (big white band);
+(b) sort descending by ``Increase(P)`` -- favours deterministic sub-bug
+    predictors with tiny failure counts (all-red thermometers, small F);
+(c) sort descending by the harmonic-mean ``Importance`` -- balances both.
+
+Each strategy operates on predicates that survive the ``Increase(P) > 0``
+discard, as in the paper ("after predicates where Increase(P) = 0 are
+discarded" for strategy (a)).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.importance import ImportanceScores, importance_scores
+from repro.core.predicates import Predicate
+from repro.core.reports import ReportSet
+from repro.core.scores import DEFAULT_CONFIDENCE, PredicateScores, ScoreRow, compute_scores
+
+
+class RankingStrategy(enum.Enum):
+    """Which score orders the predicate list."""
+
+    BY_FAILURE_COUNT = "F(P)"
+    BY_INCREASE = "Increase(P)"
+    BY_IMPORTANCE = "harmonic mean"
+
+
+@dataclass(frozen=True)
+class RankedPredicate:
+    """One row of a ranked predicate table (mirrors Table 1's columns)."""
+
+    rank: int
+    predicate: Predicate
+    row: ScoreRow
+    importance: float
+    sort_key: float
+
+
+@dataclass
+class RankingResult:
+    """A full ranking under one strategy."""
+
+    strategy: RankingStrategy
+    entries: List[RankedPredicate]
+    scores: PredicateScores
+    importance: ImportanceScores
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def rank_predicates(
+    reports: ReportSet,
+    strategy: RankingStrategy,
+    candidates: Optional[np.ndarray] = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+    top: Optional[int] = None,
+    scores: Optional[PredicateScores] = None,
+) -> RankingResult:
+    """Rank candidate predicates under one of the Table 1 strategies.
+
+    Args:
+        reports: Feedback-report population.
+        strategy: Which sort key to use.
+        candidates: Boolean candidate mask (default: predicates whose
+            ``Increase`` is positive and defined, matching the paper's
+            "after predicates where Increase(P)=0 are discarded").
+        confidence: Confidence level for intervals.
+        top: Optional truncation of the returned list.
+        scores: Optional precomputed scores for this population.
+
+    Returns:
+        A :class:`RankingResult` with rows in decreasing key order.
+    """
+    if scores is None:
+        scores = compute_scores(reports, confidence=confidence)
+    imp = importance_scores(scores)
+
+    if candidates is None:
+        candidates = scores.defined & (scores.increase > 0.0)
+    else:
+        candidates = np.asarray(candidates, dtype=bool)
+
+    if strategy is RankingStrategy.BY_FAILURE_COUNT:
+        key = scores.F.astype(np.float64)
+    elif strategy is RankingStrategy.BY_INCREASE:
+        key = scores.increase
+    else:
+        key = imp.importance
+
+    masked = np.where(candidates, key, -np.inf)
+    order = np.argsort(-masked, kind="stable")
+    entries: List[RankedPredicate] = []
+    for rank, idx in enumerate(order, start=1):
+        if not np.isfinite(masked[idx]) or not candidates[idx]:
+            break
+        entries.append(
+            RankedPredicate(
+                rank=rank,
+                predicate=reports.table.predicates[int(idx)],
+                row=scores.row(int(idx)),
+                importance=float(imp.importance[idx]),
+                sort_key=float(key[idx]),
+            )
+        )
+        if top is not None and len(entries) >= top:
+            break
+    return RankingResult(strategy=strategy, entries=entries, scores=scores, importance=imp)

@@ -1,0 +1,255 @@
+"""Feedback reports: the input to the cause isolation algorithm.
+
+A feedback report ``R`` (Section 1) consists of one bit recording whether
+the run succeeded or failed, plus, for each predicate ``P``, whether ``P``
+was *observed* (its site was reached and sampled) and whether it was
+*observed to be true* at least once.  Following the paper we also retain
+the raw counts ("in reality, we count the number of times P is observed to
+be true, but the analysis ... only uses whether P is observed to be true at
+least once"); the counts additionally give relative site coverage.
+
+:class:`ReportSet` stores a whole population of runs as sparse matrices so
+the scoring passes are vectorised NumPy/SciPy operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.predicates import PredicateTable
+
+
+@dataclass
+class FeedbackReport:
+    """A single run's feedback report.
+
+    Attributes:
+        failed: ``True`` for a failing run (the ``Crash`` label; any
+            success/failure labelling works, e.g. an output oracle).
+        site_observed: Map from site index to the number of times the site
+            was sampled during the run.
+        pred_true: Map from predicate index to the number of times the
+            predicate was observed to be true.
+        stack: Optional crash stack signature (innermost frame last); used
+            only by the stack-trace baseline, never by the algorithm.
+        meta: Free-form per-run metadata (e.g. the generator seed).
+    """
+
+    failed: bool
+    site_observed: Dict[int, int] = field(default_factory=dict)
+    pred_true: Dict[int, int] = field(default_factory=dict)
+    stack: Optional[Tuple[str, ...]] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def observed_true(self, predicate_index: int) -> bool:
+        """Return ``R(P)``: was the predicate observed true at least once?"""
+        return self.pred_true.get(predicate_index, 0) > 0
+
+
+class ReportBuilder:
+    """Accumulates :class:`FeedbackReport` objects into a :class:`ReportSet`."""
+
+    def __init__(self, table: PredicateTable) -> None:
+        self.table = table
+        self._reports: List[FeedbackReport] = []
+
+    def add(self, report: FeedbackReport) -> None:
+        """Append one run's report."""
+        self._reports.append(report)
+
+    def add_run(
+        self,
+        failed: bool,
+        site_observed: Mapping[int, int],
+        pred_true: Mapping[int, int],
+        stack: Optional[Sequence[str]] = None,
+        **meta: object,
+    ) -> None:
+        """Convenience wrapper building and appending a report."""
+        self.add(
+            FeedbackReport(
+                failed=failed,
+                site_observed=dict(site_observed),
+                pred_true=dict(pred_true),
+                stack=tuple(stack) if stack is not None else None,
+                meta=dict(meta),
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self._reports)
+
+    def build(self) -> "ReportSet":
+        """Assemble the accumulated reports into a :class:`ReportSet`."""
+        n_runs = len(self._reports)
+        n_sites = self.table.n_sites
+        n_preds = self.table.n_predicates
+
+        outcomes = np.zeros(n_runs, dtype=bool)
+        stacks: List[Optional[Tuple[str, ...]]] = []
+        metas: List[Dict[str, object]] = []
+
+        srow: List[int] = []
+        scol: List[int] = []
+        sval: List[int] = []
+        prow: List[int] = []
+        pcol: List[int] = []
+        pval: List[int] = []
+
+        for i, rep in enumerate(self._reports):
+            outcomes[i] = rep.failed
+            stacks.append(rep.stack)
+            metas.append(rep.meta)
+            for site, count in rep.site_observed.items():
+                if count > 0:
+                    srow.append(i)
+                    scol.append(site)
+                    sval.append(count)
+            for pred, count in rep.pred_true.items():
+                if count > 0:
+                    prow.append(i)
+                    pcol.append(pred)
+                    pval.append(count)
+
+        site_counts = sparse.csr_matrix(
+            (np.asarray(sval, dtype=np.int64), (srow, scol)), shape=(n_runs, n_sites)
+        )
+        true_counts = sparse.csr_matrix(
+            (np.asarray(pval, dtype=np.int64), (prow, pcol)), shape=(n_runs, n_preds)
+        )
+        return ReportSet(self.table, outcomes, site_counts, true_counts, stacks, metas)
+
+
+class ReportSet:
+    """A population of feedback reports in matrix form.
+
+    Attributes:
+        table: The :class:`PredicateTable` the column indices refer to.
+        failed: Boolean array of shape ``(n_runs,)``; ``True`` = failure.
+        site_counts: ``(n_runs, n_sites)`` sparse matrix of observation
+            counts per site.
+        true_counts: ``(n_runs, n_preds)`` sparse matrix of
+            observed-to-be-true counts per predicate.
+        stacks: Per-run crash stack signatures (``None`` for successes or
+            for failures with no captured stack).
+        metas: Per-run metadata dictionaries.
+    """
+
+    def __init__(
+        self,
+        table: PredicateTable,
+        failed: np.ndarray,
+        site_counts: sparse.csr_matrix,
+        true_counts: sparse.csr_matrix,
+        stacks: Optional[List[Optional[Tuple[str, ...]]]] = None,
+        metas: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        self.table = table
+        self.failed = np.asarray(failed, dtype=bool)
+        self.site_counts = site_counts.tocsr()
+        self.true_counts = true_counts.tocsr()
+        self.stacks = stacks if stacks is not None else [None] * len(self.failed)
+        self.metas = metas if metas is not None else [{} for _ in range(len(self.failed))]
+        #: Site index of each predicate column, for mapping site-level
+        #: observation counts to predicate-level "P observed" statistics.
+        self.pred_site = np.asarray(
+            [p.site_index for p in table.predicates], dtype=np.int64
+        )
+        self._true_csc: Optional[sparse.csc_matrix] = None
+
+    # ------------------------------------------------------------------
+    # Shape and basic statistics
+    # ------------------------------------------------------------------
+    @property
+    def n_runs(self) -> int:
+        """Total number of runs in the set."""
+        return int(self.failed.shape[0])
+
+    @property
+    def n_predicates(self) -> int:
+        """Number of predicate columns."""
+        return int(self.true_counts.shape[1])
+
+    @property
+    def n_sites(self) -> int:
+        """Number of site columns."""
+        return int(self.site_counts.shape[1])
+
+    @property
+    def num_failing(self) -> int:
+        """``NumF``: total number of failing runs."""
+        return int(self.failed.sum())
+
+    @property
+    def num_successful(self) -> int:
+        """Total number of successful runs."""
+        return self.n_runs - self.num_failing
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def _csc(self) -> sparse.csc_matrix:
+        if self._true_csc is None:
+            self._true_csc = self.true_counts.tocsc()
+        return self._true_csc
+
+    def runs_where_true(self, predicate_index: int) -> np.ndarray:
+        """Return the run indices where ``R(P) = 1`` for the predicate."""
+        col = self._csc()
+        start, end = col.indptr[predicate_index], col.indptr[predicate_index + 1]
+        return col.indices[start:end].copy()
+
+    def true_mask(self, predicate_index: int) -> np.ndarray:
+        """Return a boolean run mask where ``R(P) = 1``."""
+        mask = np.zeros(self.n_runs, dtype=bool)
+        mask[self.runs_where_true(predicate_index)] = True
+        return mask
+
+    # ------------------------------------------------------------------
+    # Derived sets
+    # ------------------------------------------------------------------
+    def subset(self, run_mask: np.ndarray) -> "ReportSet":
+        """Return a new :class:`ReportSet` restricted to ``run_mask`` rows."""
+        run_mask = np.asarray(run_mask, dtype=bool)
+        idx = np.flatnonzero(run_mask)
+        return ReportSet(
+            self.table,
+            self.failed[idx],
+            self.site_counts[idx],
+            self.true_counts[idx],
+            [self.stacks[i] for i in idx],
+            [self.metas[i] for i in idx],
+        )
+
+    def relabelled(self, to_success_mask: np.ndarray) -> "ReportSet":
+        """Return a copy with the masked runs relabelled as successful.
+
+        Implements discard strategy (3) of Section 5: "relabel all failing
+        runs where R(P)=1 as successful runs".
+        """
+        failed = self.failed.copy()
+        failed[np.asarray(to_success_mask, dtype=bool)] = False
+        return ReportSet(
+            self.table, failed, self.site_counts, self.true_counts, self.stacks, self.metas
+        )
+
+    # ------------------------------------------------------------------
+    # Coverage
+    # ------------------------------------------------------------------
+    def site_coverage(self) -> np.ndarray:
+        """Total observation count per site across all runs.
+
+        The paper notes the sum of a site's predicate counters reveals the
+        site's relative coverage; this is the per-site analogue.
+        """
+        return np.asarray(self.site_counts.sum(axis=0)).ravel()
+
+    def __repr__(self) -> str:
+        return (
+            f"ReportSet(runs={self.n_runs}, failing={self.num_failing}, "
+            f"sites={self.n_sites}, predicates={self.n_predicates})"
+        )

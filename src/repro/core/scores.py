@@ -1,0 +1,262 @@
+"""``Failure``, ``Context`` and ``Increase`` scores (Sections 3.1-3.2).
+
+For a predicate ``P`` over a set of runs:
+
+* ``F(P)`` / ``S(P)``: failing / successful runs where ``P`` was observed
+  to be true at least once;
+* ``F(P obs)`` / ``S(P obs)``: failing / successful runs where the *site*
+  of ``P`` was reached and sampled at least once;
+* ``Failure(P) = F(P) / (S(P) + F(P))``;
+* ``Context(P) = F(P obs) / (S(P obs) + F(P obs))``;
+* ``Increase(P) = Failure(P) - Context(P)``.
+
+The module also provides the statistical machinery the paper attaches to
+these scores: a standard-error estimate and confidence interval for
+``Increase``, and the two-proportion ``Z`` statistic of Section 3.2 with
+``pf(P) = F(P)/F(P obs)`` and ``ps(P) = S(P)/S(P obs)``.  Section 3.2
+proves ``Increase(P) > 0  <=>  pf(P) > ps(P)``; tests rely on that
+equivalence.
+
+All functions are vectorised over the full predicate table.  Quantities
+whose denominators are zero are *undefined*; they are reported as ``0.0``
+with the corresponding bit cleared in the ``defined`` mask rather than as
+NaN, so downstream ranking code needs no NaN handling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import sparse, stats
+
+from repro.core.reports import ReportSet
+
+#: Two-sided confidence level used throughout the paper.
+DEFAULT_CONFIDENCE = 0.95
+
+
+def _z_for_confidence(confidence: float) -> float:
+    """Return the two-sided normal critical value for a confidence level."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return float(stats.norm.ppf(0.5 + confidence / 2.0))
+
+
+@dataclass
+class PredicateScores:
+    """Vectorised per-predicate score arrays over one run population.
+
+    All arrays have length ``n_predicates``.  ``defined`` marks predicates
+    whose ``Failure`` and ``Context`` are both well defined (observed true
+    at least once, site observed at least once).
+
+    Attributes:
+        F: ``F(P)`` -- failing runs where ``P`` observed true.
+        S: ``S(P)`` -- successful runs where ``P`` observed true.
+        F_obs: ``F(P observed)``.
+        S_obs: ``S(P observed)``.
+        failure: ``Failure(P)`` (0 where undefined).
+        context: ``Context(P)`` (0 where undefined).
+        increase: ``Increase(P)`` (0 where undefined).
+        increase_se: Standard error of ``Increase(P)``.
+        increase_lo / increase_hi: Confidence interval bounds.
+        pf: ``pf(P) = F(P)/F(P obs)`` (0 where undefined).
+        ps: ``ps(P) = S(P)/S(P obs)`` (0 where undefined).
+        z: Two-proportion ``Z`` statistic of Section 3.2 (0 where undefined).
+        defined: Boolean mask of well-defined predicates.
+        num_failing: ``NumF`` for the population scored.
+        num_successful: Number of successful runs in the population.
+        confidence: The confidence level used for the interval.
+    """
+
+    F: np.ndarray
+    S: np.ndarray
+    F_obs: np.ndarray
+    S_obs: np.ndarray
+    failure: np.ndarray
+    context: np.ndarray
+    increase: np.ndarray
+    increase_se: np.ndarray
+    increase_lo: np.ndarray
+    increase_hi: np.ndarray
+    pf: np.ndarray
+    ps: np.ndarray
+    z: np.ndarray
+    defined: np.ndarray
+    num_failing: int
+    num_successful: int
+    confidence: float
+
+    @property
+    def n_predicates(self) -> int:
+        """Number of predicates scored."""
+        return int(self.F.shape[0])
+
+    def row(self, predicate_index: int) -> "ScoreRow":
+        """Return a scalar view of one predicate's scores."""
+        i = predicate_index
+        return ScoreRow(
+            predicate_index=i,
+            F=int(self.F[i]),
+            S=int(self.S[i]),
+            F_obs=int(self.F_obs[i]),
+            S_obs=int(self.S_obs[i]),
+            failure=float(self.failure[i]),
+            context=float(self.context[i]),
+            increase=float(self.increase[i]),
+            increase_se=float(self.increase_se[i]),
+            increase_lo=float(self.increase_lo[i]),
+            increase_hi=float(self.increase_hi[i]),
+            z=float(self.z[i]),
+            defined=bool(self.defined[i]),
+        )
+
+
+@dataclass(frozen=True)
+class ScoreRow:
+    """Scalar per-predicate scores, convenient for tables and tests."""
+
+    predicate_index: int
+    F: int
+    S: int
+    F_obs: int
+    S_obs: int
+    failure: float
+    context: float
+    increase: float
+    increase_se: float
+    increase_lo: float
+    increase_hi: float
+    z: float
+    defined: bool
+
+    @property
+    def deterministic(self) -> bool:
+        """A bug is deterministic for ``P`` iff ``Failure(P) = 1.0``.
+
+        Equivalently ``S(P) = 0`` and ``F(P) > 0`` (Section 3.1).
+        """
+        return self.S == 0 and self.F > 0
+
+
+def _column_sums(bool_matrix: sparse.spmatrix, row_mask: np.ndarray) -> np.ndarray:
+    """Sum a sparse boolean matrix's columns over the selected rows."""
+    idx = np.flatnonzero(row_mask)
+    if idx.size == 0:
+        return np.zeros(bool_matrix.shape[1], dtype=np.int64)
+    sub = bool_matrix[idx]
+    return np.asarray(sub.sum(axis=0), dtype=np.int64).ravel()
+
+
+def compute_scores(
+    reports: ReportSet,
+    run_mask: Optional[np.ndarray] = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> PredicateScores:
+    """Compute all Section 3.1-3.2 scores for every predicate.
+
+    Args:
+        reports: The feedback-report population.
+        run_mask: Optional boolean mask restricting the population (used by
+            the elimination loop to rescore after discarding runs).
+        confidence: Confidence level for the ``Increase`` interval.
+
+    Returns:
+        A :class:`PredicateScores` with one entry per predicate.
+    """
+    if run_mask is None:
+        run_mask = np.ones(reports.n_runs, dtype=bool)
+    else:
+        run_mask = np.asarray(run_mask, dtype=bool)
+
+    fail_rows = run_mask & reports.failed
+    succ_rows = run_mask & ~reports.failed
+
+    true_bool = reports.true_counts.astype(bool)
+    site_bool = reports.site_counts.astype(bool)
+
+    F = _column_sums(true_bool, fail_rows)
+    S = _column_sums(true_bool, succ_rows)
+    F_obs_site = _column_sums(site_bool, fail_rows)
+    S_obs_site = _column_sums(site_bool, succ_rows)
+    F_obs = F_obs_site[reports.pred_site]
+    S_obs = S_obs_site[reports.pred_site]
+
+    n_true = F + S
+    n_obs = F_obs + S_obs
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        failure = np.where(n_true > 0, F / np.maximum(n_true, 1), 0.0)
+        context = np.where(n_obs > 0, F_obs / np.maximum(n_obs, 1), 0.0)
+        increase = np.where((n_true > 0) & (n_obs > 0), failure - context, 0.0)
+
+        # Standard error of Increase, treating Failure and Context as
+        # independent binomial proportions.  Because the "observed true"
+        # runs are a subset of the "observed" runs the two are positively
+        # correlated, so this over-estimates the variance: the interval is
+        # conservative, which is the safe direction for the pruning filter.
+        # The proportions are Laplace-smoothed for the variance estimate
+        # only, so a proportion of exactly 0 or 1 backed by a handful of
+        # observations cannot claim zero variance (a predicate true in a
+        # single failing run must not pass the 95% filter).
+        f_sm = (F + 0.5) / np.maximum(n_true + 1.0, 1.0)
+        c_sm = (F_obs + 0.5) / np.maximum(n_obs + 1.0, 1.0)
+        var = np.where(
+            (n_true > 0) & (n_obs > 0),
+            f_sm * (1.0 - f_sm) / np.maximum(n_true, 1)
+            + c_sm * (1.0 - c_sm) / np.maximum(n_obs, 1),
+            0.0,
+        )
+        se = np.sqrt(var)
+
+        pf = np.where(F_obs > 0, F / np.maximum(F_obs, 1), 0.0)
+        ps = np.where(S_obs > 0, S / np.maximum(S_obs, 1), 0.0)
+        # Pooled variance under H0 (pf = ps); unlike the per-group sample
+        # variance it stays positive under perfect separation.
+        p_pool = np.where(n_obs > 0, n_true / np.maximum(n_obs, 1), 0.0)
+        z_var = (
+            p_pool
+            * (1.0 - p_pool)
+            * (1.0 / np.maximum(F_obs, 1) + 1.0 / np.maximum(S_obs, 1))
+        )
+        z = np.where(
+            (F_obs > 0) & (S_obs > 0) & (z_var > 0),
+            (pf - ps) / np.sqrt(np.maximum(z_var, 1e-300)),
+            0.0,
+        )
+
+    crit = _z_for_confidence(confidence)
+    increase_lo = increase - crit * se
+    increase_hi = increase + crit * se
+    defined = (n_true > 0) & (n_obs > 0)
+
+    return PredicateScores(
+        F=F,
+        S=S,
+        F_obs=F_obs,
+        S_obs=S_obs,
+        failure=failure,
+        context=context,
+        increase=increase,
+        increase_se=se,
+        increase_lo=increase_lo,
+        increase_hi=increase_hi,
+        pf=pf,
+        ps=ps,
+        z=z,
+        defined=defined,
+        num_failing=int(fail_rows.sum()),
+        num_successful=int(succ_rows.sum()),
+        confidence=confidence,
+    )
+
+
+def z_test_pvalues(scores: PredicateScores) -> np.ndarray:
+    """One-sided p-values for ``H1: pf(P) > ps(P)`` (Section 3.2).
+
+    Under ``H0: pf = ps`` the statistic is approximately standard normal
+    for large samples, so the p-value is the upper normal tail of ``z``.
+    """
+    return stats.norm.sf(scores.z)

@@ -1,0 +1,19 @@
+"""End-to-end experiment pipeline.
+
+``runner`` executes a subject program over many seeded random inputs and
+collects feedback reports plus ground truth; ``experiment`` wires the
+full paper pipeline together (instrument -> optionally train adaptive
+sampling rates -> run -> prune -> eliminate); ``tables`` renders the
+paper's table layouts as text for the benchmark harness.
+"""
+
+from repro.harness.runner import collect_site_means, run_trials
+from repro.harness.experiment import Experiment, ExperimentResult, run_experiment
+
+__all__ = [
+    "run_trials",
+    "collect_site_means",
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,114 @@
+"""Parallel trial execution.
+
+Trials are independent by construction (each derives its input and
+sampler state from ``seed + i``), so populations can be collected on all
+cores.  Each worker process instruments its own copy of the subject --
+the transform is deterministic, so site and predicate indices agree
+across processes -- and streams back plain-tuple run records that the
+parent merges in seed order.  The result is bit-identical to the serial
+:func:`repro.harness.runner.run_trials` for the same arguments, which
+``tests/harness/test_parallel.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.reports import ReportBuilder, ReportSet
+from repro.core.truth import GroundTruth
+from repro.instrument.sampling import SamplingPlan
+from repro.instrument.tracer import crash_stack, instrument_source
+from repro.instrument.transform import InstrumentationConfig
+from repro.subjects import base as subject_base
+from repro.subjects.base import Subject
+
+#: Per-process cache of the instrumented program.
+_WORKER: Dict[str, object] = {}
+
+#: One run's serialised record:
+#: (seed, failed, site_obs, pred_true, stack, bugs)
+_RunRecord = Tuple[int, bool, Dict[int, int], Dict[int, int], Optional[Tuple[str, ...]], List[str]]
+
+
+def _init_worker(subject: Subject, config: Optional[InstrumentationConfig]) -> None:
+    program = instrument_source(subject.source(), subject.name, config=config)
+    _WORKER["subject"] = subject
+    _WORKER["program"] = program
+
+
+def _run_chunk(args: Tuple[int, int, SamplingPlan]) -> List[_RunRecord]:
+    start, count, plan = args
+    subject: Subject = _WORKER["subject"]  # type: ignore[assignment]
+    program = _WORKER["program"]
+    entry = program.func(subject.entry)  # type: ignore[attr-defined]
+
+    records: List[_RunRecord] = []
+    for i in range(start, start + count):
+        input_rng = random.Random(i * 2654435761 % (2 ** 31))
+        trial_input = subject.generate_input(input_rng)
+        subject_base.begin_truth_capture()
+        program.begin_run(plan, seed=i + 1)  # type: ignore[attr-defined]
+        failed = False
+        stack = None
+        try:
+            output = entry(trial_input)
+        except Exception as exc:
+            failed = True
+            stack = crash_stack(exc, program.filename)  # type: ignore[attr-defined]
+        else:
+            failed = not subject.oracle(trial_input, output)
+        site_obs, pred_true = program.end_run()  # type: ignore[attr-defined]
+        bugs = subject_base.end_truth_capture()
+        records.append((i, failed, site_obs, pred_true, stack, bugs))
+    return records
+
+
+def run_trials_parallel(
+    subject: Subject,
+    n_runs: int,
+    plan: SamplingPlan,
+    seed: int = 0,
+    jobs: int = 2,
+    config: Optional[InstrumentationConfig] = None,
+    chunk_size: int = 200,
+) -> Tuple[ReportSet, GroundTruth]:
+    """Collect a report population using ``jobs`` worker processes.
+
+    Args:
+        subject: The subject program.
+        n_runs: Total trials.
+        plan: Sampling plan (shared by every trial).
+        seed: Base seed; trial ``i`` uses ``seed + i``, exactly like the
+            serial runner.
+        jobs: Worker process count.
+        config: Instrumentation configuration (must match whatever the
+            analysis side instruments with).
+        chunk_size: Trials per task; larger amortises IPC.
+
+    Returns:
+        ``(reports, truth)``, run-aligned and ordered by trial index.
+    """
+    # The parent instruments too, for the predicate table.
+    program = instrument_source(subject.source(), subject.name, config=config)
+    builder = ReportBuilder(program.table)
+    truth = GroundTruth(bug_ids=list(subject.bug_ids))
+
+    chunks = [
+        (seed + start, min(chunk_size, n_runs - start), plan)
+        for start in range(0, n_runs, chunk_size)
+    ]
+
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(
+        processes=max(jobs, 1),
+        initializer=_init_worker,
+        initargs=(subject, config),
+    ) as pool:
+        for records in pool.imap(_run_chunk, chunks):
+            for run_seed, failed, site_obs, pred_true, stack, bugs in records:
+                builder.add_run(failed, site_obs, pred_true, stack=stack, seed=run_seed)
+                truth.add_run(bugs)
+
+    return builder.build(), truth

@@ -1,0 +1,154 @@
+"""HTML report generation: the paper's interactive analysis view.
+
+"Complete analysis results for all experiments may be browsed
+interactively" -- the paper's companion website rendered, per
+experiment, the ranked predictor list with bug thermometers, and linked
+each predictor to its affinity list.  This module renders the same
+artefact as a standalone HTML file from an
+:class:`~repro.harness.experiment.ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional
+
+from repro.core.affinity import affinity_list
+from repro.core.thermometer import Thermometer
+from repro.core.truth import classify_predictor, cooccurrence_table
+from repro.harness.experiment import ExperimentResult
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #ccc; padding: 4px 8px; font-size: 13px;
+         text-align: left; }
+th { background: #f0f0f0; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+code { background: #f6f6f6; padding: 1px 4px; }
+.affinity { margin-left: 2em; color: #555; font-size: 12px; }
+.kind-bug { color: #067d00; font-weight: bold; }
+.kind-sub-bug { color: #b07700; }
+.kind-super-bug { color: #b00060; }
+h2 { border-bottom: 1px solid #ddd; padding-bottom: 4px; }
+"""
+
+
+def _summary_rows(summary: Dict[str, object]) -> str:
+    cells = "".join(
+        f"<tr><th>{html.escape(str(k))}</th>"
+        f"<td class='num'>{html.escape(str(v))}</td></tr>"
+        for k, v in summary.items()
+    )
+    return f"<table>{cells}</table>"
+
+
+def render_report(
+    result: ExperimentResult,
+    title: Optional[str] = None,
+    affinity_top: int = 5,
+    include_truth: bool = True,
+) -> str:
+    """Render one experiment as a standalone HTML document.
+
+    Args:
+        result: A finished experiment.
+        title: Page title; defaults to the subject name.
+        affinity_top: Affinity-list entries shown per predictor.
+        include_truth: Include the ground-truth co-occurrence columns
+            and predictor grading (available in controlled experiments).
+
+    Returns:
+        The HTML text.
+    """
+    reports = result.reports
+    truth = result.truth
+    subject = result.config.subject
+    title = title or f"Bug isolation report: {subject.name}"
+
+    parts: List[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        "<h2>Summary</h2>",
+        _summary_rows(result.summary()),
+        "<h2>Ranked failure predictors</h2>",
+    ]
+
+    selected = [s.predicate.index for s in result.elimination.selected]
+    co = None
+    if include_truth and truth.bug_ids and truth.n_runs == reports.n_runs:
+        co = cooccurrence_table(reports, truth, selected)
+
+    bug_cols = (
+        "".join(f"<th>{html.escape(b)}</th>" for b in truth.bug_ids) if co else ""
+    )
+    parts.append(
+        "<table><tr><th>#</th><th>initial</th><th>effective</th>"
+        "<th>Importance</th><th>Increase</th><th>S</th><th>F</th>"
+        f"<th>predicate</th><th>kind</th>{bug_cols}</tr>"
+    )
+
+    max_runs = max(
+        (s.initial.row.F + s.initial.row.S for s in result.elimination.selected),
+        default=1,
+    )
+    for sel in result.elimination.selected:
+        initial = Thermometer.from_row(sel.initial.row, max_runs=max_runs)
+        effective = Thermometer.from_row(sel.effective.row, max_runs=max_runs)
+        kind = ""
+        if co is not None:
+            k = classify_predictor(reports, truth, sel.predicate.index)
+            kind = f"<span class='kind-{k}'>{k}</span>"
+        cells = [
+            f"<td class='num'>{sel.rank}</td>",
+            f"<td>{initial.render_html()}</td>",
+            f"<td>{effective.render_html()}</td>",
+            f"<td class='num'>{sel.effective.importance:.3f}</td>",
+            f"<td class='num'>{sel.effective.row.increase:.3f}</td>",
+            f"<td class='num'>{sel.effective.row.S}</td>",
+            f"<td class='num'>{sel.effective.row.F}</td>",
+            f"<td><code>{html.escape(sel.predicate.name)}</code></td>",
+            f"<td>{kind}</td>",
+        ]
+        if co is not None:
+            row = co[sel.predicate.index]
+            cells.extend(
+                f"<td class='num'>{row.get(b, 0)}</td>" for b in truth.bug_ids
+            )
+        parts.append("<tr>" + "".join(cells) + "</tr>")
+    parts.append("</table>")
+
+    parts.append("<h2>Affinity lists</h2>")
+    for sel in result.elimination.selected:
+        parts.append(
+            f"<p><code>{html.escape(sel.predicate.name)}</code></p>"
+            "<div class='affinity'><ol>"
+        )
+        entries = affinity_list(
+            reports,
+            sel.predicate.index,
+            candidates=result.pruning.kept,
+            top=affinity_top,
+        )
+        for entry in entries:
+            parts.append(
+                f"<li>drop {entry.drop:.3f} &mdash; "
+                f"<code>{html.escape(entry.predicate.name)}</code></li>"
+            )
+        parts.append("</ol></div>")
+
+    parts.append(
+        f"<p><em>{reports.n_runs} runs, {reports.num_failing} failing; "
+        f"sampling: {result.plan.mode}.</em></p>"
+    )
+    parts.append("</body></html>")
+    return "".join(parts)
+
+
+def write_report(result: ExperimentResult, path: str, **kwargs) -> None:
+    """Render and write the HTML report to ``path``."""
+    text = render_report(result, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,237 @@
+"""Run-time half of the instrumentation: observation recording.
+
+The AST transformer (:mod:`repro.instrument.transform`) rewrites subject
+code so every instrumented construct routes through a shared
+:class:`Runtime` object named ``_cbi`` in the module's globals:
+
+* ``_cbi.branch(site, test_value)`` wraps branch tests;
+* ``_cbi.ret(site, call_value)`` wraps call expressions;
+* ``_cbi.pairs(sites, x, ys)`` records scalar-pair relations after an
+  assignment to ``x``.
+
+Each helper first consults the sampler ("each potential sample is taken
+or skipped randomly and independently"); taken observations increment the
+site's observation counter and the counters of the predicates observed to
+be true.  All helpers return their wrapped value unchanged, so the
+transformation preserves program semantics.
+
+One :class:`Runtime` is shared across all runs of an instrumented program;
+:meth:`Runtime.begin_run` resets the counters and installs the sampling
+plan for the next execution.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.predicates import PredicateTable
+from repro.instrument.sampling import SamplingPlan, geometric_gap
+
+#: Sentinel for "variable not bound yet" in scalar-pair old-value capture.
+#: It fails the numeric type check, so unbound comparisons are skipped.
+UNBOUND = object()
+
+_NUMERIC = (int, float)
+
+
+class Runtime:
+    """Per-program instrumentation runtime shared across runs.
+
+    Attributes:
+        table: The :class:`PredicateTable` registered by the transformer.
+    """
+
+    #: Exposed so instrumented code can reference ``_cbi.UNBOUND``.
+    UNBOUND = UNBOUND
+
+    def __init__(self, table: PredicateTable) -> None:
+        self.table = table
+        self._base: List[int] = []
+        self._site_obs: List[int] = []
+        self._true: List[int] = []
+        self._take = self._take_full
+        self._rate = 1.0
+        self._gap = 1
+        self._gaps: List[int] = []
+        self._rates: List[float] = []
+        self._rng = random.Random(0)
+        self._rng_random = self._rng.random
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Re-derive per-site predicate base indices after registration.
+
+        The transformer registers sites while rewriting; call this once
+        afterwards (done automatically by
+        :func:`repro.instrument.tracer.instrument_source`).
+        """
+        self._base = [
+            self.table.predicate_indices_at(s)[0] if self.table.predicate_indices_at(s) else 0
+            for s in range(self.table.n_sites)
+        ]
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
+    def begin_run(self, plan: SamplingPlan, seed: int) -> None:
+        """Reset counters and install the sampling plan for one run."""
+        n_sites = self.table.n_sites
+        n_preds = self.table.n_predicates
+        if len(self._base) != n_sites:
+            self.refresh()
+        self._site_obs = [0] * n_sites
+        self._true = [0] * n_preds
+        self._rng = random.Random(seed)
+        self._rng_random = self._rng.random
+
+        if plan.mode == "full":
+            self._take = self._take_full
+        elif plan.mode == "uniform":
+            self._rate = plan.rate
+            self._gap = geometric_gap(plan.rate, self._rng_random())
+            self._take = self._take_uniform
+        elif plan.mode == "per-site":
+            if plan.site_rates is None or len(plan.site_rates) < n_sites:
+                raise ValueError("per-site plan lacks rates for every site")
+            self._rates = [float(r) for r in plan.site_rates[:n_sites]]
+            self._gaps = [
+                geometric_gap(r, self._rng_random()) for r in self._rates
+            ]
+            self._take = self._take_persite
+        else:
+            raise ValueError(f"unknown sampling mode {plan.mode!r}")
+
+    def end_run(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Return ``(site_observed, pred_true)`` sparse count dicts."""
+        site_obs = {i: c for i, c in enumerate(self._site_obs) if c}
+        pred_true = {i: c for i, c in enumerate(self._true) if c}
+        return site_obs, pred_true
+
+    # ------------------------------------------------------------------
+    # Samplers (bound to self._take per run)
+    # ------------------------------------------------------------------
+    def _take_full(self, site: int) -> bool:
+        return True
+
+    def _take_uniform(self, site: int) -> bool:
+        g = self._gap - 1
+        if g > 0:
+            self._gap = g
+            return False
+        self._gap = geometric_gap(self._rate, self._rng_random())
+        return True
+
+    def _take_persite(self, site: int) -> bool:
+        gaps = self._gaps
+        g = gaps[site] - 1
+        if g > 0:
+            gaps[site] = g
+            return False
+        gaps[site] = geometric_gap(self._rates[site], self._rng_random())
+        return True
+
+    # ------------------------------------------------------------------
+    # Observation helpers called from instrumented code
+    # ------------------------------------------------------------------
+    def branch(self, site: int, value):
+        """Record a branch test outcome; returns ``value`` unchanged."""
+        if self._take(site):
+            self._site_obs[site] += 1
+            b = self._base[site]
+            if value:
+                self._true[b] += 1
+            else:
+                self._true[b + 1] += 1
+        return value
+
+    def ret(self, site: int, value):
+        """Record a call's scalar return sign; returns ``value`` unchanged.
+
+        Non-scalar values leave the site unobserved, mirroring the C
+        scheme's restriction to scalar-returning call sites.
+        """
+        if isinstance(value, _NUMERIC) and self._take(site):
+            self._site_obs[site] += 1
+            b = self._base[site]
+            t = self._true
+            if value < 0:
+                t[b] += 1      # < 0
+                t[b + 4] += 1  # != 0
+                t[b + 5] += 1  # <= 0
+            elif value == 0:
+                t[b + 1] += 1  # == 0
+                t[b + 3] += 1  # >= 0
+                t[b + 5] += 1  # <= 0
+            else:
+                t[b + 2] += 1  # > 0
+                t[b + 3] += 1  # >= 0
+                t[b + 4] += 1  # != 0
+        return value
+
+    def pairs(self, sites: Sequence[int], x, ys: Sequence) -> None:
+        """Record scalar-pair relations between ``x`` and each ``y``.
+
+        Each ``(x, y)`` pair is its own instrumentation site, sampled
+        independently.  Non-numeric operands (including the
+        :data:`UNBOUND` sentinel) leave their site unobserved.
+        """
+        if not isinstance(x, _NUMERIC):
+            return
+        take = self._take
+        t = self._true
+        for site, y in zip(sites, ys):
+            if isinstance(y, _NUMERIC) and take(site):
+                self._site_obs[site] += 1
+                b = self._base[site]
+                if x < y:
+                    t[b] += 1      # <
+                    t[b + 4] += 1  # !=
+                    t[b + 5] += 1  # <=
+                elif x == y:
+                    t[b + 1] += 1  # ==
+                    t[b + 3] += 1  # >=
+                    t[b + 5] += 1  # <=
+                else:
+                    t[b + 2] += 1  # >
+                    t[b + 3] += 1  # >=
+                    t[b + 4] += 1  # !=
+
+    def float_kind(self, site: int, value) -> None:
+        """Classify a freshly assigned floating-point value.
+
+        Family offsets: negative, zero, positive, NaN, infinite,
+        subnormal.  Non-float values leave the site unobserved.
+        """
+        if type(value) is float and self._take(site):
+            self._site_obs[site] += 1
+            b = self._base[site]
+            t = self._true
+            if value != value:  # NaN
+                t[b + 3] += 1
+                return
+            if value == float("inf") or value == float("-inf"):
+                t[b + 4] += 1
+            if value < 0.0:
+                t[b] += 1
+            elif value == 0.0:
+                t[b + 1] += 1
+            else:
+                t[b + 2] += 1
+            if 0.0 < abs(value) < 2.2250738585072014e-308:
+                t[b + 5] += 1
+
+    def enter(self, site: int) -> None:
+        """Record a function entry (the ``function-entries`` scheme)."""
+        if self._take(site):
+            self._site_obs[site] += 1
+            self._true[self._base[site]] += 1
+
+    def custom(self, site: int, flags: Sequence[bool]) -> None:
+        """Record a hand-rolled predicate family (Section 5 extensions)."""
+        if self._take(site):
+            self._site_obs[site] += 1
+            base = self.table.predicate_indices_at(site)[0]
+            for offset, flag in enumerate(flags):
+                if flag:
+                    self._true[base + offset] += 1

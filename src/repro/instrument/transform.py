@@ -1,0 +1,587 @@
+"""Source-to-source instrumentation transform (Section 2).
+
+"Random sampling is added to a program via a source-to-source
+transformation."  This module is the Python analogue of the paper's C
+transformation: an :mod:`ast` rewrite that threads every instrumented
+construct through the shared :class:`~repro.instrument.runtime.Runtime`
+object, bound to the name ``_cbi`` in the instrumented module's globals.
+
+Rewrites performed (all semantics-preserving -- every helper returns its
+wrapped value):
+
+* **branches**: ``if``/``while`` tests, ternary tests, comprehension
+  guards, and each operand of short-circuiting ``and``/``or`` become
+  ``_cbi.branch(site, test)``.
+* **returns**: every call expression ``f(...)`` becomes
+  ``_cbi.ret(site, f(...))``; the runtime records the six sign predicates
+  when the value is scalar.
+* **scalar-pairs**: after each assignment ``x = ...`` (including
+  augmented assignments and ``for`` targets) the transform emits
+  ``_cbi.pairs((s1, ..., sk), x, (prev, y1, ..., c1, ...))`` comparing the
+  new value of ``x`` with its previous value ("new value of x < old value
+  of x" in the paper's tables), with other in-scope scalar variables, and
+  with the numeric constants appearing in the function.  Each pair is a
+  distinct instrumentation site, as in the paper.
+
+Calls whose (dotted) name starts with an excluded prefix -- by default the
+runtime itself and the ground-truth side channel ``record_bug`` -- are
+never instrumented.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.predicates import PredicateTable, Scheme
+
+#: Maximum characters kept of an unparsed source snippet in descriptions.
+_DESC_LIMIT = 60
+
+
+@dataclass(frozen=True)
+class InstrumentationConfig:
+    """Which schemes to apply and how aggressively.
+
+    Attributes:
+        branches / returns / scalar_pairs: Scheme on/off switches.
+        function_entries: One coverage predicate per function entry
+            (off by default; the paper's C system did not have it, but
+            Section 6 notes the counters double as coverage data).
+        float_kinds: Classify floating-point assignment values
+            (negative/zero/positive/NaN/infinite/subnormal); a scheme
+            the CBI system shipped beyond the three in the paper.  Off
+            by default.
+        max_pair_vars: Cap on in-scope variables compared per assignment
+            (the most recently assigned are kept); ``None`` = no cap.
+        max_pair_consts: Cap on function constants compared per
+            assignment; ``None`` = no cap.
+        include_old_value: Whether to emit the "new value of x vs old
+            value of x" pair site.
+        exclude_functions: Function names to leave uninstrumented (the
+            paper's escape hatch for performance-critical kernels).
+        exclude_call_prefixes: Dotted-name prefixes never treated as
+            instrumentable calls.
+        runtime_name: Global name the runtime object is bound to.
+    """
+
+    branches: bool = True
+    returns: bool = True
+    scalar_pairs: bool = True
+    function_entries: bool = False
+    float_kinds: bool = False
+    max_pair_vars: Optional[int] = 8
+    max_pair_consts: Optional[int] = 6
+    include_old_value: bool = True
+    exclude_functions: frozenset = frozenset()
+    exclude_call_prefixes: Tuple[str, ...] = ("_cbi", "record_bug")
+    runtime_name: str = "_cbi"
+
+
+@dataclass
+class _FunctionContext:
+    """Per-function state while rewriting."""
+
+    name: str
+    assigned: List[str] = field(default_factory=list)
+    constants: List[object] = field(default_factory=list)
+    instrument: bool = True
+
+    def note_assigned(self, name: str) -> None:
+        if name.startswith("_cbi"):
+            return
+        if name not in self.assigned:
+            self.assigned.append(name)
+
+
+def _collect_constants(node: ast.AST) -> List[object]:
+    """Distinct numeric constants in source order (bools excluded)."""
+    seen: List[object] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Constant):
+            v = sub.value
+            if isinstance(v, (int, float)) and not isinstance(v, bool):
+                if v not in seen:
+                    seen.append(v)
+    return seen
+
+
+def _snippet(node: ast.AST) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failure fallback
+        text = f"<{type(node).__name__}>"
+    text = " ".join(text.split())
+    if len(text) > _DESC_LIMIT:
+        text = text[: _DESC_LIMIT - 3] + "..."
+    return text
+
+
+def _dotted_name(func: ast.expr) -> Optional[str]:
+    """Dotted name of a call target, or ``None`` for computed targets."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Instrumenter:
+    """Rewrites Python source, registering sites in a predicate table."""
+
+    def __init__(
+        self,
+        table: Optional[PredicateTable] = None,
+        config: Optional[InstrumentationConfig] = None,
+    ) -> None:
+        self.table = table if table is not None else PredicateTable()
+        self.config = config if config is not None else InstrumentationConfig()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def instrument(self, source: str, filename: str = "<subject>") -> ast.Module:
+        """Parse ``source``, instrument it, and return the new module AST.
+
+        Sites are registered in :attr:`table` as they are encountered, in
+        deterministic source order.
+        """
+        tree = ast.parse(source, filename=filename)
+        ctx = _FunctionContext(name="<module>", constants=[])
+        tree.body = self._process_stmts(tree.body, ctx)
+        ast.fix_missing_locations(tree)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Node factories
+    # ------------------------------------------------------------------
+    def _runtime_attr(self, method: str) -> ast.Attribute:
+        return ast.Attribute(
+            value=ast.Name(id=self.config.runtime_name, ctx=ast.Load()),
+            attr=method,
+            ctx=ast.Load(),
+        )
+
+    def _wrap_branch(
+        self, ctx: _FunctionContext, test: ast.expr, desc: Optional[str] = None
+    ) -> ast.expr:
+        line = getattr(test, "lineno", 0)
+        if desc is None:
+            desc = _snippet(test)
+        site = self.table.add_site(Scheme.BRANCHES, ctx.name, line, desc)
+        call = ast.Call(
+            func=self._runtime_attr("branch"),
+            args=[ast.Constant(value=site.index), test],
+            keywords=[],
+        )
+        return ast.copy_location(call, test)
+
+    def _wrap_call(self, ctx: _FunctionContext, call: ast.Call) -> ast.expr:
+        name = _dotted_name(call.func)
+        desc = name if name is not None else _snippet(call.func)
+        site = self.table.add_site(
+            Scheme.RETURNS, ctx.name, getattr(call, "lineno", 0), desc
+        )
+        wrapped = ast.Call(
+            func=self._runtime_attr("ret"),
+            args=[ast.Constant(value=site.index), call],
+            keywords=[],
+        )
+        return ast.copy_location(wrapped, call)
+
+    def _excluded_call(self, func: ast.expr) -> bool:
+        name = _dotted_name(func)
+        if name is None:
+            return False
+        parts = name.split(".")
+        for prefix in self.config.exclude_call_prefixes:
+            if any(p.startswith(prefix) for p in parts):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Expression instrumentation
+    # ------------------------------------------------------------------
+    def _transform_expr(self, node: ast.AST, ctx: _FunctionContext) -> ast.AST:
+        """Instrument calls / boolean operators inside one expression tree."""
+        if not ctx.instrument:
+            return node
+        return _ExprInstrumenter(self, ctx).visit(node)
+
+    # ------------------------------------------------------------------
+    # Scalar-pair emission
+    # ------------------------------------------------------------------
+    def _pair_candidates(
+        self, ctx: _FunctionContext, target: str
+    ) -> Tuple[List[Tuple[str, ast.expr]], bool]:
+        """Return ``(candidates, include_old)`` for an assignment to target.
+
+        Each candidate is ``(description, value expression)``; description
+        uses the paper's ``x __ y`` placeholder, expanded per relation by
+        the predicate table's default names.
+        """
+        cfg = self.config
+        cands: List[Tuple[str, ast.expr]] = []
+        names = [n for n in ctx.assigned if n != target]
+        if cfg.max_pair_vars is not None:
+            names = names[-cfg.max_pair_vars :]
+        for name in names:
+            cands.append((f"{target} __ {name}", ast.Name(id=name, ctx=ast.Load())))
+        consts = ctx.constants
+        if cfg.max_pair_consts is not None:
+            consts = consts[: cfg.max_pair_consts]
+        for value in consts:
+            cands.append((f"{target} __ {value}", ast.Constant(value=value)))
+        return cands, cfg.include_old_value
+
+    def _emit_pairs(
+        self,
+        ctx: _FunctionContext,
+        target: str,
+        line: int,
+        capture_old: bool,
+    ) -> Tuple[List[ast.stmt], List[ast.stmt]]:
+        """Build (pre-statements, post-statements) around an assignment."""
+        cands, include_old = self._pair_candidates(ctx, target)
+        site_ids: List[int] = []
+        value_exprs: List[ast.expr] = []
+
+        pre: List[ast.stmt] = []
+        if include_old and capture_old:
+            site = self.table.add_site(
+                Scheme.SCALAR_PAIRS,
+                ctx.name,
+                line,
+                f"new value of {target} __ old value of {target}",
+            )
+            site_ids.append(site.index)
+            value_exprs.append(ast.Name(id="_cbi_prev", ctx=ast.Load()))
+            # try: _cbi_prev = x
+            # except (NameError, UnboundLocalError): _cbi_prev = _cbi.UNBOUND
+            pre.append(
+                ast.Try(
+                    body=[
+                        ast.Assign(
+                            targets=[ast.Name(id="_cbi_prev", ctx=ast.Store())],
+                            value=ast.Name(id=target, ctx=ast.Load()),
+                        )
+                    ],
+                    handlers=[
+                        ast.ExceptHandler(
+                            type=ast.Tuple(
+                                elts=[
+                                    ast.Name(id="NameError", ctx=ast.Load()),
+                                    ast.Name(id="UnboundLocalError", ctx=ast.Load()),
+                                ],
+                                ctx=ast.Load(),
+                            ),
+                            name=None,
+                            body=[
+                                ast.Assign(
+                                    targets=[ast.Name(id="_cbi_prev", ctx=ast.Store())],
+                                    value=self._runtime_attr("UNBOUND"),
+                                )
+                            ],
+                        )
+                    ],
+                    orelse=[],
+                    finalbody=[],
+                )
+            )
+
+        for desc, expr in cands:
+            site = self.table.add_site(Scheme.SCALAR_PAIRS, ctx.name, line, desc)
+            site_ids.append(site.index)
+            value_exprs.append(expr)
+
+        if not site_ids:
+            return pre, []
+
+        pairs_call = ast.Expr(
+            value=ast.Call(
+                func=self._runtime_attr("pairs"),
+                args=[
+                    ast.Tuple(
+                        elts=[ast.Constant(value=s) for s in site_ids], ctx=ast.Load()
+                    ),
+                    ast.Name(id=target, ctx=ast.Load()),
+                    ast.Tuple(elts=value_exprs, ctx=ast.Load()),
+                ],
+                keywords=[],
+            )
+        )
+        post = [
+            ast.Try(
+                body=[pairs_call],
+                handlers=[
+                    ast.ExceptHandler(
+                        type=ast.Tuple(
+                            elts=[
+                                ast.Name(id="NameError", ctx=ast.Load()),
+                                ast.Name(id="UnboundLocalError", ctx=ast.Load()),
+                            ],
+                            ctx=ast.Load(),
+                        ),
+                        name=None,
+                        body=[ast.Pass()],
+                    )
+                ],
+                orelse=[],
+                finalbody=[],
+            )
+        ]
+        return pre, post
+
+    def _emit_float_kind(
+        self, ctx: _FunctionContext, target: str, line: int
+    ) -> List[ast.stmt]:
+        """Statement recording the float classification of ``target``."""
+        site = self.table.add_site(Scheme.FLOAT_KINDS, ctx.name, line, target)
+        return [
+            ast.Expr(
+                value=ast.Call(
+                    func=self._runtime_attr("float_kind"),
+                    args=[
+                        ast.Constant(value=site.index),
+                        ast.Name(id=target, ctx=ast.Load()),
+                    ],
+                    keywords=[],
+                )
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Statement walking
+    # ------------------------------------------------------------------
+    def _note_target_names(self, target: ast.expr, ctx: _FunctionContext) -> None:
+        for node in ast.walk(target):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                ctx.note_assigned(node.id)
+
+    def _process_stmts(
+        self, stmts: Sequence[ast.stmt], ctx: _FunctionContext
+    ) -> List[ast.stmt]:
+        out: List[ast.stmt] = []
+        for stmt in stmts:
+            out.extend(self._process_stmt(stmt, ctx))
+        return out
+
+    def _process_stmt(self, stmt: ast.stmt, ctx: _FunctionContext) -> List[ast.stmt]:
+        cfg = self.config
+
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = _FunctionContext(
+                name=stmt.name,
+                constants=_collect_constants(stmt),
+                instrument=ctx.instrument and stmt.name not in cfg.exclude_functions,
+            )
+            args = stmt.args
+            for a in (
+                list(args.posonlyargs)
+                + list(args.args)
+                + list(args.kwonlyargs)
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            ):
+                inner.note_assigned(a.arg)
+            entry_prefix: List[ast.stmt] = []
+            if cfg.function_entries and inner.instrument:
+                site = self.table.add_site(
+                    Scheme.FUNCTION_ENTRIES, stmt.name, stmt.lineno, stmt.name
+                )
+                entry_prefix = [
+                    ast.Expr(
+                        value=ast.Call(
+                            func=self._runtime_attr("enter"),
+                            args=[ast.Constant(value=site.index)],
+                            keywords=[],
+                        )
+                    )
+                ]
+            stmt.body = entry_prefix + self._process_stmts(stmt.body, inner)
+            ctx.note_assigned(stmt.name)
+            return [stmt]
+
+        if isinstance(stmt, ast.ClassDef):
+            inner = _FunctionContext(
+                name=stmt.name,
+                constants=_collect_constants(stmt),
+                instrument=ctx.instrument and stmt.name not in cfg.exclude_functions,
+            )
+            stmt.body = self._process_stmts(stmt.body, inner)
+            return [stmt]
+
+        if not ctx.instrument:
+            return [stmt]
+
+        if isinstance(stmt, ast.If):
+            desc = _snippet(stmt.test)
+            stmt.test = self._transform_expr(stmt.test, ctx)
+            if cfg.branches:
+                stmt.test = self._wrap_branch(ctx, stmt.test, desc)
+            stmt.body = self._process_stmts(stmt.body, ctx)
+            stmt.orelse = self._process_stmts(stmt.orelse, ctx)
+            return [stmt]
+
+        if isinstance(stmt, ast.While):
+            desc = _snippet(stmt.test)
+            stmt.test = self._transform_expr(stmt.test, ctx)
+            if cfg.branches:
+                stmt.test = self._wrap_branch(ctx, stmt.test, desc)
+            stmt.body = self._process_stmts(stmt.body, ctx)
+            stmt.orelse = self._process_stmts(stmt.orelse, ctx)
+            return [stmt]
+
+        if isinstance(stmt, ast.For):
+            stmt.iter = self._transform_expr(stmt.iter, ctx)
+            self._note_target_names(stmt.target, ctx)
+            body_prefix: List[ast.stmt] = []
+            if cfg.scalar_pairs and isinstance(stmt.target, ast.Name):
+                _, post = self._emit_pairs(
+                    ctx, stmt.target.id, stmt.lineno, capture_old=False
+                )
+                body_prefix = post
+            stmt.body = body_prefix + self._process_stmts(stmt.body, ctx)
+            stmt.orelse = self._process_stmts(stmt.orelse, ctx)
+            return [stmt]
+
+        if isinstance(stmt, ast.Try):
+            stmt.body = self._process_stmts(stmt.body, ctx)
+            for handler in stmt.handlers:
+                if handler.name:
+                    ctx.note_assigned(handler.name)
+                handler.body = self._process_stmts(handler.body, ctx)
+            stmt.orelse = self._process_stmts(stmt.orelse, ctx)
+            stmt.finalbody = self._process_stmts(stmt.finalbody, ctx)
+            return [stmt]
+
+        if isinstance(stmt, ast.With):
+            for item in stmt.items:
+                item.context_expr = self._transform_expr(item.context_expr, ctx)
+                if item.optional_vars is not None:
+                    self._note_target_names(item.optional_vars, ctx)
+            stmt.body = self._process_stmts(stmt.body, ctx)
+            return [stmt]
+
+        if isinstance(stmt, ast.Assign):
+            stmt.value = self._transform_expr(stmt.value, ctx)
+            result: List[ast.stmt] = [stmt]
+            if (
+                len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and not stmt.targets[0].id.startswith("_cbi")
+            ):
+                target = stmt.targets[0].id
+                pre: List[ast.stmt] = []
+                post: List[ast.stmt] = []
+                if cfg.scalar_pairs:
+                    pre, post = self._emit_pairs(
+                        ctx, target, stmt.lineno, capture_old=True
+                    )
+                if cfg.float_kinds:
+                    post = post + self._emit_float_kind(ctx, target, stmt.lineno)
+                result = pre + [stmt] + post
+                ctx.note_assigned(target)
+            else:
+                for t in stmt.targets:
+                    self._note_target_names(t, ctx)
+            return result
+
+        if isinstance(stmt, ast.AugAssign):
+            stmt.value = self._transform_expr(stmt.value, ctx)
+            result = [stmt]
+            if isinstance(stmt.target, ast.Name):
+                target = stmt.target.id
+                pre = []
+                post = []
+                if cfg.scalar_pairs:
+                    pre, post = self._emit_pairs(
+                        ctx, target, stmt.lineno, capture_old=True
+                    )
+                if cfg.float_kinds:
+                    post = post + self._emit_float_kind(ctx, target, stmt.lineno)
+                result = pre + [stmt] + post
+                ctx.note_assigned(target)
+            return result
+
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                stmt.value = self._transform_expr(stmt.value, ctx)
+                if cfg.scalar_pairs and isinstance(stmt.target, ast.Name):
+                    target = stmt.target.id
+                    pre, post = self._emit_pairs(
+                        ctx, target, stmt.lineno, capture_old=True
+                    )
+                    ctx.note_assigned(target)
+                    return pre + [stmt] + post
+            if isinstance(stmt.target, ast.Name):
+                ctx.note_assigned(stmt.target.id)
+            return [stmt]
+
+        if isinstance(stmt, (ast.Expr, ast.Return, ast.Raise, ast.Assert, ast.Delete)):
+            return [self._transform_expr(stmt, ctx)]
+
+        # Imports, global/nonlocal, pass/break/continue, etc.
+        return [stmt]
+
+
+class _ExprInstrumenter(ast.NodeTransformer):
+    """Wraps calls and short-circuit/ternary tests within one expression."""
+
+    def __init__(self, owner: Instrumenter, ctx: _FunctionContext) -> None:
+        self.owner = owner
+        self.ctx = ctx
+
+    # Do not descend into nested scopes; they are handled at statement
+    # level (functions/classes) or intentionally skipped (lambdas).
+    def visit_FunctionDef(self, node):  # pragma: no cover - defensive
+        return node
+
+    def visit_AsyncFunctionDef(self, node):  # pragma: no cover - defensive
+        return node
+
+    def visit_ClassDef(self, node):  # pragma: no cover - defensive
+        return node
+
+    def visit_Lambda(self, node):
+        return node
+
+    def visit_Call(self, node: ast.Call):
+        self.generic_visit(node)
+        if not self.owner.config.returns:
+            return node
+        if self.owner._excluded_call(node.func):
+            return node
+        return self.owner._wrap_call(self.ctx, node)
+
+    def visit_BoolOp(self, node: ast.BoolOp):
+        descs = [_snippet(v) for v in node.values]
+        self.generic_visit(node)
+        if self.owner.config.branches:
+            node.values = [
+                self.owner._wrap_branch(self.ctx, v, d)
+                for v, d in zip(node.values, descs)
+            ]
+        return node
+
+    def visit_IfExp(self, node: ast.IfExp):
+        desc = _snippet(node.test)
+        self.generic_visit(node)
+        if self.owner.config.branches:
+            node.test = self.owner._wrap_branch(self.ctx, node.test, desc)
+        return node
+
+    def visit_comprehension(self, node: ast.comprehension):
+        descs = [_snippet(i) for i in node.ifs]
+        self.generic_visit(node)
+        if self.owner.config.branches:
+            node.ifs = [
+                self.owner._wrap_branch(self.ctx, i, d)
+                for i, d in zip(node.ifs, descs)
+            ]
+        return node

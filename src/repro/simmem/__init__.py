@@ -1,0 +1,42 @@
+"""A simulated C heap for realistic memory-bug behaviour.
+
+The paper's evaluation programs are C programs whose most interesting bugs
+are buffer overruns that "may or may not cause the program to crash
+depending on runtime system decisions about how data is laid out in
+memory", sometimes crashing "long after the overrun occurs" with "no
+useful information on the stack" (the BC case study).  Python cannot
+corrupt its own heap, so subject programs allocate from this simulated
+heap instead:
+
+* :class:`~repro.simmem.heap.SimHeap` lays allocations out in a flat
+  address space with randomised padding gaps and per-allocation header
+  cells (the "metadata").
+* Out-of-bounds writes land wherever the layout puts them: in a padding
+  gap (silent), in a neighbouring buffer (silent data corruption), or on
+  a header (deferred crash at a later ``free``/``malloc``).
+* Null and dangling pointers raise
+  :class:`~repro.simmem.errors.SimSegfault` on dereference.
+
+This reproduces exactly the non-determinism the statistical debugging
+algorithm is designed for: the *cause* predicate is true in every bad run,
+but the crash is probabilistic and far away.
+"""
+
+from repro.simmem.errors import (
+    SimDoubleFree,
+    SimMemoryError,
+    SimOutOfMemory,
+    SimSegfault,
+)
+from repro.simmem.heap import NULL, SimBuffer, SimHeap, memcpy
+
+__all__ = [
+    "SimHeap",
+    "SimBuffer",
+    "NULL",
+    "memcpy",
+    "SimMemoryError",
+    "SimSegfault",
+    "SimDoubleFree",
+    "SimOutOfMemory",
+]

@@ -1,0 +1,34 @@
+"""Crash exceptions raised by the simulated heap.
+
+These play the role of hardware traps: subject programs never catch them,
+so the experiment runner observes them as failing runs, exactly as the
+paper's runs were labelled by crashes.
+"""
+
+from __future__ import annotations
+
+
+class SimMemoryError(Exception):
+    """Base class for simulated memory faults."""
+
+
+class SimSegfault(SimMemoryError):
+    """A simulated segmentation fault (bad pointer dereference).
+
+    Raised for null-pointer dereferences, use-after-free, reads/writes far
+    outside the heap, and deferred heap-metadata corruption discovered by
+    the allocator.
+    """
+
+
+class SimDoubleFree(SimMemoryError):
+    """An allocation was freed twice."""
+
+
+class SimOutOfMemory(SimMemoryError):
+    """The simulated address space is exhausted.
+
+    Note: the *injected* out-of-memory condition used by subject bugs is a
+    ``NULL`` return from ``malloc``, not this exception; this exception
+    only signals that a test configured an unreasonably small heap.
+    """

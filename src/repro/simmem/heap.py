@@ -1,0 +1,319 @@
+"""The simulated heap: layout-sensitive buffers with C failure modes.
+
+Address-space model (one cell = one "word"):
+
+::
+
+    ... [H][ data of allocation k ][ pad ][H][ data of k+1 ][ pad ] ...
+
+Each allocation is preceded by one header cell ``H`` (the allocator
+metadata).  Padding gap sizes are drawn from the heap's RNG, so layout --
+and therefore the effect of any out-of-bounds access -- varies from run to
+run, exactly like a real C runtime ("buffer overrun bugs ... may or may
+not cause the program to crash depending on runtime system decisions about
+how data is laid out in memory").
+
+Failure semantics:
+
+* write inside padding: silent (the lucky case);
+* write inside another live allocation: silently corrupts that data;
+* write on a header cell: poisons the neighbouring allocation's metadata;
+  the crash surfaces later, when that allocation is freed or when the
+  allocator walks the heap for a new block -- far from the overrun;
+* read/write outside the mapped heap, through ``NULL``, or through a
+  freed buffer: immediate :class:`~repro.simmem.errors.SimSegfault`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.simmem.errors import SimDoubleFree, SimOutOfMemory, SimSegfault
+
+#: Maximum padding cells inserted after each allocation.
+_DEFAULT_MAX_PAD = 3
+
+#: Garbage value returned when reading uninitialised or padding cells.
+_GARBAGE_RANGE = (-(2 ** 15), 2 ** 15)
+
+
+class _Null:
+    """The NULL pointer.  Any dereference is an immediate segfault."""
+
+    def read(self, index: int):
+        raise SimSegfault("null pointer read")
+
+    def write(self, index: int, value) -> None:
+        raise SimSegfault("null pointer write")
+
+    def __len__(self) -> int:
+        return 0
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+
+#: The singleton null pointer returned by a failing ``malloc``.
+NULL = _Null()
+
+
+class SimBuffer:
+    """A pointer to one heap allocation.
+
+    All access goes through :meth:`read` / :meth:`write`; index arithmetic
+    may run past either end, with layout-dependent consequences.
+    """
+
+    __slots__ = ("heap", "alloc_id", "base", "size")
+
+    def __init__(self, heap: "SimHeap", alloc_id: int, base: int, size: int) -> None:
+        self.heap = heap
+        self.alloc_id = alloc_id
+        self.base = base
+        self.size = size
+
+    def read(self, index: int):
+        """Read the cell at ``index`` (OOB reads hit whatever is there)."""
+        return self.heap._read(self, index)
+
+    def write(self, index: int, value) -> None:
+        """Write the cell at ``index`` (OOB writes hit whatever is there)."""
+        self.heap._write(self, index, value)
+
+    def fill(self, value, start: int = 0, count: Optional[int] = None) -> None:
+        """memset-style fill of ``count`` cells starting at ``start``."""
+        if count is None:
+            count = self.size - start
+        for i in range(start, start + count):
+            self.write(i, value)
+
+    def to_list(self) -> List:
+        """Snapshot the in-bounds cells (a debugging convenience)."""
+        return [self.read(i) for i in range(self.size)]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"SimBuffer(id={self.alloc_id}, base={self.base}, size={self.size})"
+
+
+class SimHeap:
+    """A flat simulated address space with randomised allocation layout.
+
+    Args:
+        seed: RNG seed controlling layout and garbage values (one heap per
+            run gives run-to-run layout variation).
+        max_pad: Maximum random padding after each allocation.
+        oom_rate: Probability that any single ``malloc`` call returns
+            ``NULL``, for injecting out-of-memory conditions (the MOSS
+            missing-OOM-check bug); 0 disables injection.
+        capacity: Total cells available (a backstop against runaway
+            subject allocation loops).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        max_pad: int = _DEFAULT_MAX_PAD,
+        oom_rate: float = 0.0,
+        capacity: int = 1_000_000,
+    ) -> None:
+        self.rng = random.Random(seed)
+        self.max_pad = max_pad
+        self.oom_rate = oom_rate
+        self.capacity = capacity
+        self._cells: Dict[int, object] = {}
+        #: alloc_id -> (base, size, alive, header_ok)
+        self._allocs: Dict[int, List] = {}
+        #: ascending (base, alloc_id) for address->owner lookup
+        self._index: List[Tuple[int, int]] = []
+        self._next_addr = 0
+        self._next_id = 1
+        self._deferred_fault: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def malloc(self, size: int, can_fail: bool = False):
+        """Allocate ``size`` cells; may return :data:`NULL` under injection.
+
+        Out-of-memory injection (``oom_rate``) only applies to call sites
+        that pass ``can_fail=True``; robust allocation sites in subject
+        programs use the default and never observe ``NULL``, so only the
+        seeded missing-check bugs feel the injection.
+
+        A deferred metadata fault (from an earlier header overwrite) is
+        raised here, modelling allocators that crash while walking a
+        corrupted heap.
+        """
+        self._check_deferred()
+        if size < 0:
+            raise SimSegfault(f"malloc of negative size {size}")
+        if can_fail and self.oom_rate > 0.0 and self.rng.random() < self.oom_rate:
+            return NULL
+        if self._next_addr + size + 1 + self.max_pad > self.capacity:
+            raise SimOutOfMemory(
+                f"simulated heap exhausted ({self._next_addr} cells in use)"
+            )
+        header = self._next_addr
+        base = header + 1
+        alloc_id = self._next_id
+        self._next_id += 1
+        self._allocs[alloc_id] = [base, size, True, True]
+        self._index.append((base, alloc_id))
+        pad = self.rng.randint(0, self.max_pad)
+        self._next_addr = base + size + pad
+        return SimBuffer(self, alloc_id, base, size)
+
+    def calloc(self, size: int):
+        """Allocate and zero-fill (never returns garbage on read)."""
+        buf = self.malloc(size)
+        if buf is NULL:
+            return NULL
+        for i in range(size):
+            self._cells[buf.base + i] = 0
+        return buf
+
+    def free(self, buf) -> None:
+        """Release an allocation.
+
+        Raises:
+            SimSegfault: If the allocation's metadata was corrupted by an
+                earlier out-of-bounds write (the deferred crash), or when
+                freeing ``NULL`` is fine but freeing garbage is not.
+            SimDoubleFree: If the allocation was already freed.
+        """
+        if buf is NULL:
+            return
+        if not isinstance(buf, SimBuffer):
+            raise SimSegfault(f"free of non-pointer {buf!r}")
+        rec = self._allocs.get(buf.alloc_id)
+        if rec is None:
+            raise SimSegfault("free of unknown pointer")
+        if not rec[3]:
+            raise SimSegfault("heap metadata corrupted (detected at free)")
+        if not rec[2]:
+            raise SimDoubleFree(f"double free of allocation {buf.alloc_id}")
+        rec[2] = False
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def _record_of(self, buf: SimBuffer) -> List:
+        rec = self._allocs.get(buf.alloc_id)
+        if rec is None:
+            raise SimSegfault("dereference of unknown pointer")
+        if not rec[2]:
+            raise SimSegfault("use after free")
+        return rec
+
+    def _read(self, buf: SimBuffer, index: int):
+        rec = self._record_of(buf)
+        addr = rec[0] + index
+        if 0 <= index < rec[1]:
+            return self._cells.get(addr, self._garbage())
+        return self._oob_read(addr)
+
+    def _write(self, buf: SimBuffer, index: int, value) -> None:
+        rec = self._record_of(buf)
+        addr = rec[0] + index
+        if 0 <= index < rec[1]:
+            self._cells[addr] = value
+            return
+        self._oob_write(addr, value)
+
+    def _oob_read(self, addr: int):
+        if addr < 0 or addr >= self._next_addr + 64:
+            raise SimSegfault(f"wild read at address {addr}")
+        owner = self._owner_of(addr)
+        if owner is not None:
+            base, _size, alive, _ok = self._allocs[owner]
+            if alive:
+                return self._cells.get(addr, self._garbage())
+        return self._garbage()
+
+    def _oob_write(self, addr: int, value) -> None:
+        if addr < 0 or addr >= self._next_addr + 64:
+            raise SimSegfault(f"wild write at address {addr}")
+        # Header cell of some allocation?  Headers sit at base-1.
+        victim = self._header_owner(addr)
+        if victim is not None:
+            self._allocs[victim][3] = False
+            self._deferred_fault = (
+                f"heap metadata of allocation {victim} overwritten at {addr}"
+            )
+            return
+        owner = self._owner_of(addr)
+        if owner is not None and self._allocs[owner][2]:
+            # Silent corruption of a neighbouring live allocation.
+            self._cells[addr] = value
+            return
+        # Padding or dead space: the lucky, silent case.
+
+    def _owner_of(self, addr: int) -> Optional[int]:
+        """Return the alloc_id whose data region contains ``addr``."""
+        import bisect
+
+        pos = bisect.bisect_right(self._index, (addr, float("inf"))) - 1
+        if pos < 0:
+            return None
+        base, alloc_id = self._index[pos]
+        size = self._allocs[alloc_id][1]
+        if base <= addr < base + size:
+            return alloc_id
+        return None
+
+    def _header_owner(self, addr: int) -> Optional[int]:
+        """Return the alloc_id whose header cell is ``addr``, if any."""
+        import bisect
+
+        pos = bisect.bisect_left(self._index, (addr + 1, -1))
+        if pos < len(self._index) and self._index[pos][0] == addr + 1:
+            return self._index[pos][1]
+        return None
+
+    def _garbage(self):
+        return self.rng.randint(*_GARBAGE_RANGE)
+
+    def _check_deferred(self) -> None:
+        if self._deferred_fault is not None:
+            msg = self._deferred_fault
+            self._deferred_fault = None
+            raise SimSegfault(msg)
+
+    # ------------------------------------------------------------------
+    # Introspection (for tests)
+    # ------------------------------------------------------------------
+    def live_allocations(self) -> int:
+        """Number of allocations not yet freed."""
+        return sum(1 for rec in self._allocs.values() if rec[2])
+
+    def metadata_intact(self) -> bool:
+        """True when no allocation header has been overwritten."""
+        return all(rec[3] for rec in self._allocs.values()) and (
+            self._deferred_fault is None
+        )
+
+
+def memcpy(dst, src, count: int) -> None:
+    """Copy ``count`` cells from ``src`` to ``dst``.
+
+    Either argument being :data:`NULL`, a freed buffer, or a non-pointer
+    raises :class:`~repro.simmem.errors.SimSegfault` -- this models the
+    EXIF crash, where an uninitialised ``entries[i].data`` pointer reaches
+    ``memcpy`` in the save path.
+    """
+    if dst is NULL or src is NULL:
+        raise SimSegfault("memcpy through null pointer")
+    if not isinstance(dst, SimBuffer) or not isinstance(src, SimBuffer):
+        raise SimSegfault(f"memcpy of non-pointer ({dst!r}, {src!r})")
+    for i in range(count):
+        dst.write(i, src.read(i))

@@ -1,0 +1,24 @@
+"""Subject programs: Python analogues of the paper's five case studies.
+
+Each subject packages (1) a program source to instrument, (2) a seeded
+random-input generator, (3) a success/failure labelling (crash or output
+oracle), and (4) ground-truth bug recording so controlled experiments can
+grade the algorithm's output, as in Section 4.1.
+
+Subjects:
+
+* :mod:`repro.subjects.moss` -- winnowing plagiarism detector with 9
+  seeded bugs (the Table 3 validation experiment);
+* :mod:`repro.subjects.ccrypt` -- stream-cipher file tool with an input
+  validation bug (Table 4);
+* :mod:`repro.subjects.bc` -- calculator with a heap overrun that crashes
+  long after the overrun (Table 5);
+* :mod:`repro.subjects.exif` -- image-metadata parser with three bugs,
+  including the paper's worked ``o + s > buf_size`` example (Table 6);
+* :mod:`repro.subjects.rhythmbox` -- event-driven music-player simulation
+  with timer/race bugs (Table 7).
+"""
+
+from repro.subjects.base import Subject, record_bug
+
+__all__ = ["Subject", "record_bug"]

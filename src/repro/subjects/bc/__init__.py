@@ -1,0 +1,13 @@
+"""The BC analogue: an arithmetic-expression interpreter (Table 5).
+
+GNU BC 1.06 had a heap buffer overrun in ``more_arrays``: the growth
+routine used the *variable* count as the bound when initialising the new
+array table, overrunning it whenever more variables than array slots
+existed.  The crash surfaced long after the overrun, with no useful
+stack.  The analogue reproduces the same wrong-bound growth bug over the
+simulated heap.
+"""
+
+from repro.subjects.bc.subject import BcSubject
+
+__all__ = ["BcSubject"]

@@ -1,0 +1,300 @@
+"""The buggy BC-analogue program: tokenizer, parser, and evaluator.
+
+A bc-style calculator: each statement assigns to a scalar variable or an
+array element, or prints an expression.  Scalar storage and the array
+table live on the simulated heap and grow on demand, like bc's
+``more_variables`` / ``more_arrays``.
+
+========  ==================================================================
+bug id    behaviour
+========  ==================================================================
+bc1       ``more_arrays`` initialises the *new* array table with a loop
+          bounded by ``v_count`` (the number of scalar variables) instead
+          of the old array capacity -- GNU BC 1.06's overrun.  When more
+          variables exist than the grown table can hold, the tail writes
+          overrun the allocation; the heap-metadata corruption typically
+          crashes a *later*, unrelated allocation ("this bug causes a
+          crash long after the overrun occurs and there is no useful
+          information on the stack").
+========  ==================================================================
+"""
+
+from repro.simmem.heap import NULL, SimHeap
+from repro.subjects.base import record_bug
+
+#: Initial scalar-variable storage capacity.
+V_INITIAL = 4
+#: Initial array-table capacity.
+A_INITIAL = 2
+#: Array-table growth increment.
+A_GROW = 4
+#: Arithmetic is carried out modulo this (bc's arbitrary precision is
+#: irrelevant to the bug; bounded ints keep runs fast).
+NUM_MOD = 10 ** 9
+
+
+def tokenize(text):
+    """Split a statement into tokens: numbers, names, operators."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == " ":
+            i += 1
+        elif ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(("num", int(text[i:j])))
+            i = j
+        elif ch.isalpha():
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(("name", text[i:j]))
+            i = j
+        elif ch in "+-*/%()[]=,":
+            tokens.append((ch, ch))
+            i += 1
+        else:
+            raise ValueError(f"bad character {ch!r}")
+    tokens.append(("end", ""))
+    return tokens
+
+
+class Parser:
+    """Recursive-descent parser producing a small expression AST.
+
+    Nodes are tuples: ``("num", v)``, ``("var", name)``,
+    ``("elem", name, index_node)``, ``("bin", op, lhs, rhs)``,
+    ``("neg", node)``.
+    """
+
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos][0]
+
+    def take(self, kind):
+        tok = self.tokens[self.pos]
+        if tok[0] != kind:
+            raise ValueError(f"expected {kind}, got {tok[0]}")
+        self.pos += 1
+        return tok[1]
+
+    def parse_expr(self):
+        node = self.parse_term()
+        while self.peek() in ("+", "-"):
+            op = self.take(self.peek())
+            rhs = self.parse_term()
+            node = ("bin", op, node, rhs)
+        return node
+
+    def parse_term(self):
+        node = self.parse_unary()
+        while self.peek() in ("*", "/", "%"):
+            op = self.take(self.peek())
+            rhs = self.parse_unary()
+            node = ("bin", op, node, rhs)
+        return node
+
+    def parse_unary(self):
+        if self.peek() == "-":
+            self.take("-")
+            return ("neg", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self):
+        kind = self.peek()
+        if kind == "num":
+            return ("num", self.take("num"))
+        if kind == "name":
+            name = self.take("name")
+            if self.peek() == "[":
+                self.take("[")
+                index = self.parse_expr()
+                self.take("]")
+                return ("elem", name, index)
+            return ("var", name)
+        if kind == "(":
+            self.take("(")
+            node = self.parse_expr()
+            self.take(")")
+            return node
+        raise ValueError(f"unexpected token {kind}")
+
+
+class Storage:
+    """bc-style scalar and array storage on the simulated heap."""
+
+    def __init__(self, heap):
+        self.heap = heap
+        self.v_cap = V_INITIAL
+        self.v_count = 0
+        self.v_names = {}
+        self.v_store = heap.malloc(V_INITIAL)
+        self.a_cap = A_INITIAL
+        self.a_count = 0
+        self.a_names = {}
+        self.a_store = heap.malloc(A_INITIAL)
+        self.grow_log = []
+
+    def more_variables(self):
+        """Correct doubling growth of scalar storage."""
+        new_cap = self.v_cap * 2
+        new = self.heap.malloc(new_cap)
+        i = 0
+        while i < self.v_count:
+            new.write(i, self.v_store.read(i))
+            i += 1
+        self.heap.free(self.v_store)
+        self.v_store = new
+        self.v_cap = new_cap
+
+    def more_arrays(self):
+        """Grow the array table.
+
+        BUG bc1: the initialisation loop is bounded by ``v_count`` (the
+        number of scalar variables) instead of the old array count, so
+        when more scalars than ``new_cap`` slots exist the tail writes
+        run past the new allocation.
+        """
+        new_cap = self.a_cap + A_GROW
+        new = self.heap.malloc(new_cap)
+        # Growth bookkeeping record; it sits immediately after the new
+        # table on the heap, so the buggy copy loop's tail writes land on
+        # it (or its metadata -- crashing a later allocation).
+        logrec = self.heap.malloc(2)
+        logrec.write(0, self.a_cap)
+        logrec.write(1, new_cap)
+        self.grow_log.append(logrec)
+        old_count = self.a_count
+        i = 0
+        while i < old_count:
+            new.write(i, self.a_store.read(i))
+            i += 1
+        # Zero-initialise the remaining slots.  BUG bc1: the bound is the
+        # scalar-variable count rather than the new capacity, so when
+        # more scalars than table slots exist the tail writes overrun.
+        while i < self.v_count:
+            if i >= new_cap:
+                record_bug("bc1")
+            new.write(i, 0)
+            i += 1
+        self.heap.free(self.a_store)
+        self.a_store = new
+        self.a_cap = new_cap
+
+    def var_slot(self, name):
+        slot = self.v_names.get(name)
+        if slot is None:
+            if self.v_count >= self.v_cap:
+                self.more_variables()
+            slot = self.v_count
+            self.v_names[name] = slot
+            self.v_store.write(slot, 0)
+            self.v_count += 1
+        return slot
+
+    def array_slot(self, name):
+        slot = self.a_names.get(name)
+        if slot is None:
+            while self.a_count >= self.a_cap:
+                self.more_arrays()
+            slot = self.a_count
+            self.a_names[name] = slot
+            self.a_store.write(slot, NULL)
+            self.a_count += 1
+        return slot
+
+    def get_var(self, name):
+        slot = self.var_slot(name)
+        return self.v_store.read(slot)
+
+    def set_var(self, name, value):
+        slot = self.var_slot(name)
+        self.v_store.write(slot, value)
+
+    def _array_buf(self, name, index):
+        slot = self.array_slot(name)
+        buf = self.a_store.read(slot)
+        if buf is NULL or not hasattr(buf, "read"):
+            buf = self.heap.calloc(32)
+            self.a_store.write(slot, buf)
+        return buf
+
+    def get_elem(self, name, index):
+        buf = self._array_buf(name, index)
+        return buf.read(index % 32)
+
+    def set_elem(self, name, index, value):
+        buf = self._array_buf(name, index)
+        buf.write(index % 32, value)
+
+
+def evaluate(node, store):
+    """Evaluate an expression AST against the storage."""
+    kind = node[0]
+    if kind == "num":
+        return node[1] % NUM_MOD
+    if kind == "var":
+        return store.get_var(node[1]) % NUM_MOD
+    if kind == "elem":
+        index = evaluate(node[2], store)
+        return store.get_elem(node[1], index) % NUM_MOD
+    if kind == "neg":
+        return (-evaluate(node[1], store)) % NUM_MOD
+    op = node[1]
+    lhs = evaluate(node[2], store)
+    rhs = evaluate(node[3], store)
+    if op == "+":
+        return (lhs + rhs) % NUM_MOD
+    if op == "-":
+        return (lhs - rhs) % NUM_MOD
+    if op == "*":
+        return (lhs * rhs) % NUM_MOD
+    if op == "/":
+        return lhs // rhs if rhs != 0 else 0
+    return lhs % rhs if rhs != 0 else 0
+
+
+def main(job):
+    """Interpret one bc program.
+
+    ``job``: ``heap_seed`` and ``statements`` (list of statement strings:
+    ``name = expr``, ``name[expr] = expr``, or ``print expr``).
+
+    Returns the list of printed values.
+    """
+    heap = SimHeap(seed=job["heap_seed"])
+    store = Storage(heap)
+    printed = []
+    for text in job["statements"]:
+        tokens = tokenize(text)
+        parser = Parser(tokens)
+        first = tokens[0]
+        if first[0] == "name" and first[1] == "print":
+            parser.take("name")
+            value = evaluate(parser.parse_expr(), store)
+            out = heap.malloc(1)
+            out.write(0, value)
+            printed.append(out.read(0))
+            heap.free(out)
+        else:
+            name = parser.take("name")
+            if parser.peek() == "[":
+                parser.take("[")
+                index_node = parser.parse_expr()
+                parser.take("]")
+                parser.take("=")
+                value = evaluate(parser.parse_expr(), store)
+                index = evaluate(index_node, store)
+                store.set_elem(name, index, value)
+            else:
+                parser.take("=")
+                value = evaluate(parser.parse_expr(), store)
+                store.set_var(name, value)
+    return printed

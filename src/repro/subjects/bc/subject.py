@@ -1,0 +1,151 @@
+"""Subject wrapper, generator, and reference interpreter for BC."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List
+
+from repro.subjects import base
+from repro.subjects.bc import program as program_module
+from repro.subjects.bc.program import NUM_MOD, Parser, tokenize
+
+#: Statement-count range per program.
+MIN_STATEMENTS, MAX_STATEMENTS = 4, 24
+#: Probability a statement is a print.
+P_PRINT = 0.30
+#: Probability an assignment targets an array element.
+P_ARRAY_ASSIGN = 0.25
+
+
+def _gen_expr(rng: random.Random, vars_: List[str], arrays: List[str], depth: int) -> str:
+    choice = rng.random()
+    if depth <= 0 or choice < 0.45:
+        if vars_ and rng.random() < 0.55:
+            return rng.choice(vars_)
+        return str(rng.randint(0, 999))
+    if arrays and choice < 0.55:
+        return f"{rng.choice(arrays)}[{_gen_expr(rng, vars_, arrays, 0)}]"
+    op = rng.choice(["+", "-", "*", "/", "%"])
+    lhs = _gen_expr(rng, vars_, arrays, depth - 1)
+    rhs = _gen_expr(rng, vars_, arrays, depth - 1)
+    return f"({lhs} {op} {rhs})"
+
+
+def generate_job(rng: random.Random) -> Dict:
+    """One random bc program.
+
+    Programs declare a random number of scalars and arrays; those with
+    several arrays after many scalars hit the buggy ``more_arrays``
+    growth path.
+    """
+    n_vars = rng.randint(1, 12)
+    n_arrays = rng.randint(0, 5)
+    vars_ = [f"v{i}" for i in range(n_vars)]
+    arrays = [f"a{i}" for i in range(n_arrays)]
+    statements: List[str] = []
+    declared_vars: List[str] = []
+    declared_arrays: List[str] = []
+
+    for v in vars_:
+        statements.append(f"{v} = {_gen_expr(rng, declared_vars, declared_arrays, 1)}")
+        declared_vars.append(v)
+    for a in arrays:
+        idx = _gen_expr(rng, declared_vars, [], 0)
+        statements.append(f"{a}[{idx}] = {_gen_expr(rng, declared_vars, declared_arrays, 1)}")
+        declared_arrays.append(a)
+
+    extra = rng.randint(MIN_STATEMENTS, MAX_STATEMENTS)
+    for _ in range(extra):
+        if rng.random() < P_PRINT and declared_vars:
+            statements.append(f"print {_gen_expr(rng, declared_vars, declared_arrays, 2)}")
+        elif declared_arrays and rng.random() < P_ARRAY_ASSIGN:
+            a = rng.choice(declared_arrays)
+            idx = _gen_expr(rng, declared_vars, [], 0)
+            statements.append(
+                f"{a}[{idx}] = {_gen_expr(rng, declared_vars, declared_arrays, 1)}"
+            )
+        else:
+            v = rng.choice(declared_vars)
+            statements.append(f"{v} = {_gen_expr(rng, declared_vars, declared_arrays, 2)}")
+
+    prefix = n_vars + n_arrays
+    tail = statements[prefix:]
+    rng.shuffle(tail)
+    statements = statements[:prefix] + tail
+    return {
+        "heap_seed": rng.randint(0, 2 ** 31 - 1),
+        "statements": statements,
+    }
+
+
+def _ref_eval(node, variables: Dict[str, int], arrays: Dict[str, Dict[int, int]]) -> int:
+    kind = node[0]
+    if kind == "num":
+        return node[1] % NUM_MOD
+    if kind == "var":
+        return variables.get(node[1], 0) % NUM_MOD
+    if kind == "elem":
+        index = _ref_eval(node[2], variables, arrays)
+        return arrays.get(node[1], {}).get(index % 32, 0) % NUM_MOD
+    if kind == "neg":
+        return (-_ref_eval(node[1], variables, arrays)) % NUM_MOD
+    op = node[1]
+    lhs = _ref_eval(node[2], variables, arrays)
+    rhs = _ref_eval(node[3], variables, arrays)
+    if op == "+":
+        return (lhs + rhs) % NUM_MOD
+    if op == "-":
+        return (lhs - rhs) % NUM_MOD
+    if op == "*":
+        return (lhs * rhs) % NUM_MOD
+    if op == "/":
+        return lhs // rhs if rhs != 0 else 0
+    return lhs % rhs if rhs != 0 else 0
+
+
+def reference_output(job: Dict) -> List[int]:
+    """Correct interpretation of the program over plain dicts."""
+    variables: Dict[str, int] = {}
+    arrays: Dict[str, Dict[int, int]] = {}
+    printed: List[int] = []
+    for text in job["statements"]:
+        tokens = tokenize(text)
+        parser = Parser(tokens)
+        first = tokens[0]
+        if first[0] == "name" and first[1] == "print":
+            parser.take("name")
+            printed.append(_ref_eval(parser.parse_expr(), variables, arrays))
+        else:
+            name = parser.take("name")
+            if parser.peek() == "[":
+                parser.take("[")
+                index_node = parser.parse_expr()
+                parser.take("]")
+                parser.take("=")
+                value = _ref_eval(parser.parse_expr(), variables, arrays)
+                index = _ref_eval(index_node, variables, arrays)
+                arrays.setdefault(name, {})[index % 32] = value
+            else:
+                parser.take("=")
+                variables[name] = _ref_eval(parser.parse_expr(), variables, arrays)
+    return printed
+
+
+class BcSubject(base.Subject):
+    """Table 5's subject: the wrong-bound array-table growth overrun."""
+
+    name = "bc"
+    entry = "main"
+    bug_ids = ("bc1",)
+
+    def source(self) -> str:
+        """Source of the buggy program."""
+        return self.source_of(program_module)
+
+    def generate_input(self, rng: random.Random) -> Any:
+        """One random bc program."""
+        return generate_job(rng)
+
+    def oracle(self, program_input: Any, output: Any) -> bool:
+        """Differential oracle against the dict-based interpreter."""
+        return output == reference_output(program_input)

@@ -1,0 +1,11 @@
+"""The CCRYPT analogue: a stream-cipher file tool (Table 4).
+
+CCRYPT 1.2 had a known input-validation bug: when prompting whether to
+overwrite an existing output file, an exhausted standard input makes the
+line reader return NULL, which the prompt loop dereferences.  The
+analogue reproduces that single, deterministic crashing bug.
+"""
+
+from repro.subjects.ccrypt.subject import CcryptSubject
+
+__all__ = ["CcryptSubject"]

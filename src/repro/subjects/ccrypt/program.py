@@ -1,0 +1,147 @@
+"""The buggy CCRYPT-analogue program.
+
+A little file-encryption tool: derive a keystream from the key phrase,
+encrypt (or decrypt) the input block by block, and write the result --
+unless the output file already exists, in which case the user is asked
+for confirmation.  The confirmation loop contains the seeded bug:
+
+========  ==================================================================
+bug id    behaviour
+========  ==================================================================
+ccrypt1   the overwrite prompt re-reads standard input until it gets a
+          valid answer, but never checks for end-of-input; an exhausted
+          stdin makes ``read_line`` return NULL and the loop dereferences
+          it (CCRYPT 1.2's input-validation crash)
+========  ==================================================================
+"""
+
+from repro.simmem.heap import NULL, SimHeap
+from repro.subjects.base import record_bug
+
+#: Cipher block size in cells.
+BLOCK = 16
+#: Rounds of key mixing.
+KEY_ROUNDS = 4
+#: Keystream modulus.
+KS_MOD = 65536
+
+
+def mix_key(key_tokens):
+    """Derive the cipher state from the key phrase tokens."""
+    state = 40503
+    r = 0
+    while r < KEY_ROUNDS:
+        for t in key_tokens:
+            state = (state * 33 + t + r) % KS_MOD
+        r += 1
+    if state == 0:
+        state = 1
+    return state
+
+
+def keystream(state, length):
+    """Generate ``length`` keystream bytes from the mixed state."""
+    out = []
+    x = state
+    i = 0
+    while i < length:
+        x = (x * 1103515245 + 12345) % KS_MOD
+        out.append((x >> 7) % 256)
+        i += 1
+    return out
+
+
+def read_line(stdin, cursor):
+    """Read one "line" from the scripted standard input.
+
+    Returns ``(buffer, new_cursor)``; the buffer is NULL at end of input,
+    just like ``fgets`` returning NULL at EOF.
+    """
+    if cursor >= len(stdin["lines"]):
+        return NULL, cursor
+    heap = stdin["heap"]
+    text = stdin["lines"][cursor]
+    buf = heap.malloc(max(len(text), 1))
+    idx = 0
+    for ch in text:
+        buf.write(idx, ch)
+        idx += 1
+    if idx == 0:
+        buf.write(0, 10)
+    return buf, cursor + 1
+
+
+def prompt_overwrite(stdin, cursor):
+    """Ask the user whether to overwrite the existing output file.
+
+    Loops until an answer starting with y/Y/n/N arrives.  BUG ccrypt1:
+    the NULL returned at end of input is never checked, so the first
+    dereference after EOF segfaults.
+    """
+    while True:
+        line, cursor = read_line(stdin, cursor)
+        if line is NULL:
+            # BUG ccrypt1: missing "if line is NULL" bail-out.
+            record_bug("ccrypt1")
+        res = line.read(0)
+        if res == 121 or res == 89:
+            return True, cursor
+        if res == 110 or res == 78:
+            return False, cursor
+
+
+def crypt_block(block, ks, offset, decrypt):
+    """Encrypt or decrypt one block against the keystream."""
+    out = []
+    i = 0
+    for v in block:
+        k = ks[offset + i]
+        if decrypt:
+            out.append((v - k) % 256)
+        else:
+            out.append((v + k) % 256)
+        i += 1
+    return out
+
+
+def checksum(values):
+    """Order-sensitive checksum appended to the output."""
+    acc = 0
+    for v in values:
+        acc = (acc * 31 + v) % 1000003
+    return acc
+
+
+def main(job):
+    """Run one encryption/decryption job.
+
+    ``job``: ``heap_seed``, ``mode`` (``"encrypt"``/``"decrypt"``),
+    ``key`` (token list), ``data`` (byte list), ``output_exists``,
+    ``force`` and ``stdin_lines`` (list of byte-lists).
+
+    Returns ``(written, payload, digest)`` where ``written`` is False
+    when the user declined the overwrite.
+    """
+    heap = SimHeap(seed=job["heap_seed"])
+    stdin = {"heap": heap, "lines": job["stdin_lines"]}
+    cursor = 0
+    decrypt = job["mode"] == "decrypt"
+
+    if job["output_exists"] and not job["force"]:
+        proceed, cursor = prompt_overwrite(stdin, cursor)
+        if not proceed:
+            return (False, [], 0)
+
+    data = job["data"]
+    state = mix_key(job["key"])
+    ks = keystream(state, len(data) + BLOCK)
+
+    payload = []
+    pos = 0
+    while pos < len(data):
+        block = data[pos : pos + BLOCK]
+        payload.extend(crypt_block(block, ks, pos, decrypt))
+        pos += BLOCK
+
+    digest = checksum(payload)
+    return (True, payload, digest)

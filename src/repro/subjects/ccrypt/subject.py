@@ -1,0 +1,96 @@
+"""Subject wrapper and input generator for the CCRYPT analogue."""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.subjects import base
+from repro.subjects.ccrypt import program as program_module
+
+#: Probability the output file already exists (prompt path).
+P_OUTPUT_EXISTS = 0.45
+#: Probability the force flag suppresses the prompt.
+P_FORCE = 0.40
+#: Probability each prompt answer is garbage (neither y/Y nor n/N),
+#: forcing the loop to read again and drift toward end of input.
+P_GARBAGE_ANSWER = 0.35
+
+
+def generate_job(rng: random.Random) -> dict:
+    """One random encryption job.
+
+    The scripted standard input holds 0-3 lines; runs that reach the
+    overwrite prompt with too few valid answers exhaust stdin and hit
+    ccrypt1.
+    """
+    n_lines = rng.randint(0, 3)
+    lines = []
+    for _ in range(n_lines):
+        if rng.random() < P_GARBAGE_ANSWER:
+            first = rng.choice([ord("x"), ord("?"), ord("q"), ord(" ")])
+        else:
+            first = rng.choice([ord("y"), ord("Y"), ord("n"), ord("N")])
+        rest = [rng.randint(32, 126) for _ in range(rng.randint(0, 6))]
+        lines.append([first] + rest + [10])
+    return {
+        "heap_seed": rng.randint(0, 2 ** 31 - 1),
+        "mode": rng.choice(["encrypt", "decrypt"]),
+        "key": [rng.randint(1, 255) for _ in range(rng.randint(1, 12))],
+        "data": [rng.randint(0, 255) for _ in range(rng.randint(0, 200))],
+        "output_exists": rng.random() < P_OUTPUT_EXISTS,
+        "force": rng.random() < P_FORCE,
+        "stdin_lines": lines,
+    }
+
+
+def reference_output(job: dict):
+    """Correct output, mirroring the program minus the prompt bug.
+
+    Declining or accepting the overwrite follows the first valid y/n
+    answer in stdin; exhausting stdin *should* mean "do not overwrite".
+    """
+    if job["output_exists"] and not job["force"]:
+        answer = None
+        for line in job["stdin_lines"]:
+            first = line[0] if line else 10
+            if first in (121, 89):
+                answer = True
+                break
+            if first in (110, 78):
+                answer = False
+                break
+        if answer is None:
+            answer = False  # correct behaviour: EOF declines
+        if not answer:
+            return (False, [], 0)
+
+    data = job["data"]
+    state = program_module.mix_key(job["key"])
+    ks = program_module.keystream(state, len(data) + program_module.BLOCK)
+    decrypt = job["mode"] == "decrypt"
+    payload = []
+    for pos, v in enumerate(data):
+        k = ks[pos]
+        payload.append((v - k) % 256 if decrypt else (v + k) % 256)
+    return (True, payload, program_module.checksum(payload))
+
+
+class CcryptSubject(base.Subject):
+    """Table 4's subject: one deterministic input-validation crash."""
+
+    name = "ccrypt"
+    entry = "main"
+    bug_ids = ("ccrypt1",)
+
+    def source(self) -> str:
+        """Source of the buggy program."""
+        return self.source_of(program_module)
+
+    def generate_input(self, rng: random.Random) -> Any:
+        """One random encryption job."""
+        return generate_job(rng)
+
+    def oracle(self, program_input: Any, output: Any) -> bool:
+        """Differential oracle (failures here are crashes in practice)."""
+        return output == reference_output(program_input)

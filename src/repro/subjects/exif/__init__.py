@@ -1,0 +1,13 @@
+"""The EXIF analogue: an image-metadata (TIFF/EXIF-style) parser (Table 6).
+
+EXIF 0.6.9 contained three previously unknown crashing bugs that the
+paper's algorithm isolated, including the worked example of Section 4.2.3:
+the Canon maker-note loader's ``o + s > buf_size`` early return leaves
+entry data pointers uninitialised, which the save path later hands to
+``memcpy``.  The analogue reproduces all three, with the same two-phase
+load/save structure so the crash stack points far from the cause.
+"""
+
+from repro.subjects.exif.subject import ExifSubject
+
+__all__ = ["ExifSubject"]

@@ -1,0 +1,211 @@
+"""The buggy EXIF-analogue program.
+
+Parses a TIFF/EXIF-like structure (IFDs of tagged entries plus an
+optional thumbnail and an optional Canon-style maker note), then
+re-serialises everything -- the load/save round trip real libexif
+performs.  Three seeded bugs, matching the paper's Table 6 predictors
+(``i < 0``, ``maxlen > 1900``, ``o + s > buf_size is TRUE``):
+
+========  ==================================================================
+bug id    behaviour
+========  ==================================================================
+exif1     the thumbnail copy start index ``size - thumb_len`` is not
+          validated; a declared thumbnail length larger than the data
+          yields a negative index and the copy writes before the buffer
+          (the paper's ``i < 0`` predictor)
+exif2     entry payloads are serialised into a fixed 1900-cell
+          workspace; the accumulated offset ``maxlen`` is never checked,
+          so oversized component counts overrun the workspace (the
+          paper's ``maxlen > 1900`` predictor)
+exif3     the maker-note loader returns early when ``o + s > buf_size``
+          *after* bumping the loaded-entry count, leaving that entry's
+          data pointer NULL; the save path trusts the count and hands
+          the NULL to ``memcpy`` (the paper's worked example)
+========  ==================================================================
+"""
+
+from repro.simmem.heap import NULL, SimHeap, memcpy
+from repro.subjects.base import record_bug
+
+#: Bytes-per-component for each format code (format 0 unused).
+FORMAT_SIZE = (0, 1, 1, 2, 4, 8, 1, 1)
+#: Fixed serialisation workspace size (bug exif2's overrun boundary).
+WORKSPACE = 1900
+#: Maker-note scratch size.
+MNOTE_BUF = 256
+
+
+def parse_entry(heap, entry):
+    """Parse one IFD entry into a heap record.
+
+    Record layout: ``[tag, format, components, size, data buffer]``.
+    """
+    fmt = entry["format"]
+    components = entry["components"]
+    size = FORMAT_SIZE[fmt] * components
+    rec = heap.malloc(5)
+    rec.write(0, entry["tag"])
+    rec.write(1, fmt)
+    rec.write(2, components)
+    rec.write(3, size)
+    data = heap.malloc(max(size, 1))
+    values = entry["values"]
+    i = 0
+    for v in values:
+        data.write(i % max(size, 1), v)
+        i += 1
+    rec.write(4, data)
+    return rec, size
+
+
+def parse_thumbnail(heap, thumb):
+    """Copy the trailing thumbnail bytes out of the raw data block.
+
+    BUG exif1: ``start = size - thumb_len`` may be negative when the
+    declared thumbnail length exceeds the data block; the copy then
+    indexes before the buffer.
+    """
+    raw = thumb["data"]
+    size = len(raw)
+    container = heap.malloc(max(size, 1))
+    thumb_len = thumb["declared_len"]
+    start = size - thumb_len
+    if start < 0:
+        # BUG exif1: missing "if start < 0" validation; the copy below
+        # writes before the container.
+        record_bug("exif1")
+    i = start
+    j = 0
+    while j < thumb_len and j < len(raw):
+        container.write(i, raw[j])
+        i += 1
+        j += 1
+    return container, thumb_len
+
+
+def mnote_canon_load(heap, note, buf_size):
+    """Load the Canon maker-note entries (the paper's worked example).
+
+    BUG exif3: the entry count is bumped *before* the bounds check, and
+    the early return leaves ``entries[i]["data"]`` NULL.
+    """
+    c = note["count"]
+    entries = []
+    i = 0
+    while i < len(note["offsets"]):
+        entries.append({"data": NULL, "size": note["sizes"][i]})
+        i += 1
+    n_count = 0
+    i = 0
+    while i < c:
+        n_count = i + 1
+        o = note["offsets"][i]
+        s = note["sizes"][i]
+        if o + s > buf_size:
+            # BUG exif3: returns with entry i's data still NULL while
+            # n_count already includes it.
+            record_bug("exif3")
+            return entries, n_count
+        data = heap.malloc(max(s, 1))
+        j = 0
+        while j < s:
+            data.write(j, (o + j) % 256)
+            j += 1
+        entries[i]["data"] = data
+        i += 1
+    return entries, n_count
+
+
+def mnote_canon_save(heap, entries, n_count):
+    """Serialise the maker-note entries back out.
+
+    Trusts ``n_count`` from the loader; a NULL data pointer reaches
+    ``memcpy`` and segfaults -- far from the loader that caused it.
+    """
+    total = 0
+    i = 0
+    while i < n_count:
+        total += entries[i]["size"]
+        i += 1
+    out = heap.malloc(max(total, 1))
+    scratch = heap.malloc(MNOTE_BUF)
+    offset = 0
+    i = 0
+    while i < n_count:
+        s = entries[i]["size"]
+        memcpy(scratch, entries[i]["data"], min(s, MNOTE_BUF))
+        j = 0
+        while j < min(s, MNOTE_BUF):
+            out.write((offset + j) % max(total, 1), scratch.read(j))
+            j += 1
+        offset += s
+        i += 1
+    return out, total
+
+
+def save_data(heap, records, sizes):
+    """Serialise every parsed entry into the fixed workspace.
+
+    BUG exif2: ``maxlen`` accumulates each entry's rounded size with no
+    bound check against ``WORKSPACE``.
+    """
+    workspace = heap.malloc(WORKSPACE)
+    # Directory footer, allocated right after the workspace: the
+    # workspace overrun lands on it (or its metadata).
+    footer = heap.malloc(4)
+    footer.write(0, len(records))
+    footer.write(1, 0)
+    footer.write(2, 0)
+    footer.write(3, 0)
+    maxlen = 0
+    k = 0
+    for rec in records:
+        size = sizes[k]
+        data = rec.read(4)
+        if maxlen + size > WORKSPACE:
+            # BUG exif2: missing workspace bound check.
+            record_bug("exif2")
+        j = 0
+        while j < size:
+            workspace.write(maxlen + j, data.read(j % max(size, 1)))
+            j += 1
+        maxlen += size + (size % 4)
+        k += 1
+    return workspace, maxlen
+
+
+def main(job):
+    """Parse and re-serialise one EXIF-like blob.
+
+    ``job``: ``heap_seed``, ``ifds`` (lists of entry dicts), optional
+    ``thumbnail`` and ``maker_note``, and ``buf_size``.
+
+    Returns summary counts ``(n_entries, maxlen, thumb_len, mnote_len)``.
+    """
+    heap = SimHeap(seed=job["heap_seed"])
+    records = []
+    sizes = []
+    for ifd in job["ifds"]:
+        for entry in ifd["entries"]:
+            rec, size = parse_entry(heap, entry)
+            records.append(rec)
+            sizes.append(size)
+
+    thumb_len = 0
+    if job["thumbnail"] is not None:
+        _thumb, thumb_len = parse_thumbnail(heap, job["thumbnail"])
+
+    mnote_entries = None
+    n_count = 0
+    if job["maker_note"] is not None:
+        mnote_entries, n_count = mnote_canon_load(
+            heap, job["maker_note"], job["buf_size"]
+        )
+
+    _ws, maxlen = save_data(heap, records, sizes)
+
+    mnote_len = 0
+    if mnote_entries is not None:
+        _out, mnote_len = mnote_canon_save(heap, mnote_entries, n_count)
+
+    return (len(records), maxlen, thumb_len, mnote_len)

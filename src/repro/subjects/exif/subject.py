@@ -1,0 +1,104 @@
+"""Subject wrapper and input generator for the EXIF analogue."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict
+
+from repro.subjects import base
+from repro.subjects.exif import program as program_module
+
+#: Probability the blob has a thumbnail.
+P_THUMBNAIL = 0.50
+#: Probability a present thumbnail declares a length beyond its data
+#: (bug exif1's trigger).
+P_BAD_THUMB_LEN = 0.040
+#: Probability the blob carries one oversized entry (exif2's trigger).
+P_HUGE_ENTRY = 0.035
+#: Probability the blob has a Canon-style maker note.
+P_MAKER_NOTE = 0.35
+#: Probability a present maker note contains an out-of-bounds entry
+#: (exif3's trigger -- deliberately the rarest bug, as in the paper).
+P_BAD_MNOTE = 0.012
+#: Maker-note scratch size the offsets are validated against.
+BUF_SIZE = 256
+
+
+def _entry(rng: random.Random, huge: bool = False) -> Dict:
+    fmt = rng.randint(1, 7)
+    if huge:
+        components = rng.randint(300, 700)
+    else:
+        components = rng.randint(1, 40)
+    values = [rng.randint(0, 255) for _ in range(min(components, 48))]
+    return {
+        "tag": rng.randint(0x0100, 0xA500),
+        "format": fmt,
+        "components": components,
+        "values": values,
+    }
+
+
+def generate_job(rng: random.Random) -> Dict:
+    """One random EXIF-like blob."""
+    ifds = []
+    huge_placed = rng.random() >= P_HUGE_ENTRY  # False => place one
+    for _ in range(rng.randint(1, 3)):
+        entries = []
+        for _ in range(rng.randint(1, 8)):
+            make_huge = not huge_placed and rng.random() < 0.5
+            if make_huge:
+                huge_placed = True
+            entries.append(_entry(rng, huge=make_huge))
+        ifds.append({"entries": entries})
+    if not huge_placed:
+        ifds[-1]["entries"].append(_entry(rng, huge=True))
+
+    thumbnail = None
+    if rng.random() < P_THUMBNAIL:
+        data = [rng.randint(0, 255) for _ in range(rng.randint(16, 160))]
+        declared = len(data)
+        if rng.random() < P_BAD_THUMB_LEN:
+            declared = len(data) + rng.randint(1, 120)
+        thumbnail = {"data": data, "declared_len": declared}
+
+    maker_note = None
+    if rng.random() < P_MAKER_NOTE:
+        count = rng.randint(1, 6)
+        offsets = []
+        sizes = []
+        bad = rng.random() < P_BAD_MNOTE
+        bad_index = rng.randrange(count) if bad else -1
+        for i in range(count):
+            s = rng.randint(4, 48)
+            if i == bad_index:
+                o = rng.randint(BUF_SIZE - s + 1, BUF_SIZE + 64)
+            else:
+                o = rng.randint(0, BUF_SIZE - s)
+            offsets.append(o)
+            sizes.append(s)
+        maker_note = {"count": count, "offsets": offsets, "sizes": sizes}
+
+    return {
+        "heap_seed": rng.randint(0, 2 ** 31 - 1),
+        "ifds": ifds,
+        "thumbnail": thumbnail,
+        "maker_note": maker_note,
+        "buf_size": BUF_SIZE,
+    }
+
+
+class ExifSubject(base.Subject):
+    """Table 6's subject: three distinct crashing bugs."""
+
+    name = "exif"
+    entry = "main"
+    bug_ids = ("exif1", "exif2", "exif3")
+
+    def source(self) -> str:
+        """Source of the buggy program."""
+        return self.source_of(program_module)
+
+    def generate_input(self, rng: random.Random) -> Any:
+        """One random EXIF-like blob."""
+        return generate_job(rng)

@@ -1,0 +1,12 @@
+"""The MOSS analogue: a winnowing document-fingerprint matcher.
+
+This is the validation subject of Section 4.1 / Table 3.  The program
+implements the winnowing fingerprinting algorithm of Schleimer, Wilkerson
+and Aiken (the real MOSS's core) over token streams, with nine seeded
+bugs matching the paper's taxonomy -- see
+:mod:`repro.subjects.moss.program` for the bug inventory.
+"""
+
+from repro.subjects.moss.subject import MossSubject
+
+__all__ = ["MossSubject"]

@@ -1,0 +1,120 @@
+"""Random submission-job generator for the MOSS analogue.
+
+Produces the "about 32,000 random inputs" population of Section 4: random
+file sets with injected plagiarism (shared passages), occasional
+boilerplate shared by most files, comment tokens, and heavy-tailed file
+and token counts so each seeded bug's trigger condition occurs at its own
+rate -- the rates span roughly two orders of magnitude, as in the paper
+("different bugs occur at rates that differ by orders of magnitude").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+#: Probability a run is a "big submission" (> FILE_CAP files; bug moss4).
+P_MANY_FILES = 0.050
+#: Probability any single file is oversized (> TOKEN_CAP tokens; moss1).
+P_BIG_FILE = 0.009
+#: Probability a file's language id is out of range (moss5).
+P_BAD_LANGUAGE = 0.011
+#: Probability a run is a heavy-sharing submission (moss3's regime).
+P_HEAVY_SHARE = 0.025
+#: Probability the submission contains boilerplate (moss6's regime).
+P_BOILERPLATE = 0.12
+#: Probability a file contains comments at all.
+P_COMMENT_FILE = 0.25
+#: Per-position comment probability inside comment-bearing files.
+P_COMMENT_TOKEN = 0.05
+#: Probability ordinary plagiarism is injected.
+P_PLAGIARISM = 0.55
+#: Out-of-memory injection rate for can-fail allocations (moss2).
+OOM_RATE = 0.01
+
+
+def _random_tokens(rng: random.Random, count: int, with_comments: bool) -> List[int]:
+    tokens: List[int] = []
+    for _ in range(count):
+        if with_comments and rng.random() < P_COMMENT_TOKEN:
+            tokens.append(-rng.randint(1, 50))
+        else:
+            tokens.append(rng.randint(1, 200))
+    return tokens
+
+
+def _passage(rng: random.Random, length: int) -> List[int]:
+    return [rng.randint(1, 200) for _ in range(length)]
+
+
+def generate_job(rng: random.Random) -> Dict:
+    """Generate one random submission job.
+
+    The returned dict is the input of both the buggy program
+    (:func:`repro.subjects.moss.program.main`) and the reference
+    implementation.
+    """
+    heavy = rng.random() < P_HEAVY_SHARE
+    if rng.random() < P_MANY_FILES:
+        # Big submissions; only those above FILE_CAP trigger moss4, the
+        # rest are large-but-successful so size alone is a weak
+        # (super-bug-style) failure signal.
+        nfiles = rng.randint(22, 30)
+    elif heavy:
+        nfiles = rng.randint(8, 12)
+    else:
+        nfiles = rng.randint(2, 12)
+
+    files = []
+    for _ in range(nfiles):
+        if rng.random() < P_BIG_FILE:
+            count = rng.randint(520, 700)
+        else:
+            count = rng.randint(30, 120)
+        language = (
+            rng.randint(17, 19)
+            if rng.random() < P_BAD_LANGUAGE
+            else rng.randint(0, 16)
+        )
+        with_comments = rng.random() < P_COMMENT_FILE
+        files.append(
+            {
+                "language": language,
+                "tokens": _random_tokens(rng, count, with_comments),
+            }
+        )
+
+    def inject(passage: List[int], targets: List[int]) -> None:
+        for fid in targets:
+            tokens = files[fid]["tokens"]
+            offset = rng.randint(0, max(len(tokens) - 1, 0))
+            files[fid]["tokens"] = tokens[:offset] + passage + tokens[offset:]
+
+    if heavy:
+        # Many pairwise-shared passages: overflows the passage table
+        # (moss3) without creating over-common fingerprints.
+        for _ in range(rng.randint(8, 14)):
+            passage = _passage(rng, rng.randint(20, 45))
+            inject(passage, rng.sample(range(nfiles), 2))
+    elif rng.random() < P_PLAGIARISM:
+        passage = _passage(rng, rng.randint(20, 90))
+        n_targets = rng.randint(2, min(nfiles, 4))
+        inject(passage, rng.sample(range(nfiles), n_targets))
+
+    if nfiles >= 3 and rng.random() < P_BOILERPLATE:
+        passage = _passage(rng, rng.randint(8, 15))
+        n_targets = nfiles // 2 + 1 + rng.randint(0, max(nfiles // 3, 0))
+        n_targets = min(n_targets, nfiles)
+        inject(passage, rng.sample(range(nfiles), n_targets))
+
+    return {
+        "heap_seed": rng.randint(0, 2 ** 31 - 1),
+        "oom_rate": OOM_RATE,
+        "config": {
+            "kgram": rng.randint(3, 5),
+            "window": rng.randint(4, 8),
+            "gap": rng.randint(4, 8),
+            "match_comment": rng.random() < 0.30,
+        },
+        "files": files,
+    }

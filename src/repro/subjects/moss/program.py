@@ -1,0 +1,383 @@
+"""The buggy MOSS-analogue program (instrumented by the harness).
+
+Pipeline: tokenize each submitted file -> k-gram hashing -> winnowing ->
+shared fingerprint index (chained hash table on the simulated heap) ->
+drop over-common fingerprints -> pairwise matching -> passage grouping.
+
+Nine seeded bugs, following the paper's Section 4.1 taxonomy (four buffer
+overruns; a null file-pointer dereference in certain cases; a missing
+end-of-list/head update in a hash-bucket traversal, which is also the
+"subtle invariant" between the bucket head and its chain; a missing
+out-of-memory check; a latent overrun that is never triggered; and an
+incorrect comment-handling bug that only corrupts output):
+
+========  ==================================================================
+bug id    behaviour
+========  ==================================================================
+moss1     token-buffer overrun when a file yields more than ``TOKEN_CAP``
+          tokens (trigger: ``token_index > 500``-style inputs)
+moss2     missing out-of-memory check on the passage-detail allocation;
+          the injected NULL is dereferenced (rare)
+moss3     passage-table overrun when more than ``PASSAGE_CAP`` passages
+          are recorded across all file pairs
+moss4     file-table overrun when more than ``FILE_CAP`` files are
+          submitted (trigger: ``filesindex >= 25``)
+moss5     null language-handler dereference when a file's language id
+          exceeds the handler table (``language > 16``); the most common
+          bug
+moss6     removing an over-common fingerprint at the head of its hash
+          bucket frees the node without updating the bucket head; the
+          next traversal of that bucket dereferences freed memory
+moss7     one-cell overrun of the final stats scratch buffer on very
+          large inputs; lands in trailing heap space, so it never
+          independently causes a failure
+moss8     latent overrun guarded by a token value the generator never
+          produces; never triggered (the paper's bug #8)
+moss9     with comment matching enabled, the second of two consecutive
+          comment tokens is dropped; output-only corruption caught by
+          the differential oracle
+========  ==================================================================
+"""
+
+from repro.simmem.heap import NULL, SimHeap
+from repro.subjects.base import record_bug
+
+#: Capacity of each file's token buffer (bug moss1 overruns it).
+TOKEN_CAP = 500
+#: Capacity of the file table (bug moss4 overruns it).
+FILE_CAP = 25
+#: Capacity of the passage table (bug moss3 overruns it).
+PASSAGE_CAP = 24
+#: Over-common fingerprints are only dropped for submissions at least
+#: this large (small submissions have no meaningful "boilerplate").
+DROP_MIN_FILES = 8
+#: Number of hash buckets in the fingerprint index.
+HASH_BUCKETS = 37
+#: k-gram hash space.
+HASH_MOD = 2048
+#: Language-handler table size; ids above 16 have no handler (bug moss5).
+LANG_HANDLERS = 17
+#: Passages at least this long get a detail record (bug moss2's site).
+DETAIL_THRESHOLD = 8
+#: Total token count above which the stats scratch overrun fires (moss7).
+STATS_OVERRUN_THRESHOLD = 450
+
+
+def tokenize_file(heap, tokens, match_comment):
+    """Copy a file's token stream into a heap buffer.
+
+    Comment tokens are encoded as negative values.  When
+    ``match_comment`` is false they are skipped entirely; when true they
+    participate in fingerprinting as their absolute value -- except that
+    the buggy handling drops the second of two consecutive comments
+    (bug moss9).
+
+    Returns ``(buffer, token_count)``.  Counts beyond ``TOKEN_CAP``
+    overrun the buffer (bug moss1).
+    """
+    buf = heap.malloc(TOKEN_CAP)
+    token_index = 0
+    prev_comment = False
+    for t in tokens:
+        if t < 0:
+            if not match_comment:
+                prev_comment = True
+                continue
+            if prev_comment:
+                # BUG moss9: should keep every comment token; consecutive
+                # comments lose the second one.
+                record_bug("moss9")
+                prev_comment = False
+                continue
+            prev_comment = True
+            val = -t
+        else:
+            prev_comment = False
+            val = t
+        if val > 1000000:
+            # BUG moss8: latent overrun; the input generator never
+            # produces token values this large, so it never fires.
+            record_bug("moss8")
+            buf.write(TOKEN_CAP + 7, val)
+        if token_index >= TOKEN_CAP:
+            # BUG moss1: missing bounds check before the write below.
+            record_bug("moss1")
+        buf.write(token_index, val)
+        token_index += 1
+    return buf, token_index
+
+
+def kgram_hashes(buf, count, k):
+    """Rolling polynomial hashes of every ``k``-gram in the buffer.
+
+    Reads past the buffer's real capacity (after a moss1 overrun) return
+    layout-dependent garbage, which is exactly how the overrun becomes a
+    non-deterministic wrong-output failure.
+    """
+    hashes = []
+    i = 0
+    while i + k <= count:
+        h = 0
+        j = 0
+        while j < k:
+            h = (h * 31 + buf.read(i + j)) % HASH_MOD
+            j += 1
+        hashes.append(h)
+        i += 1
+    return hashes
+
+
+def winnow(hashes, w):
+    """Winnowing fingerprint selection (rightmost-minimum rule).
+
+    Returns ``(position, hash)`` pairs; identical to the reference
+    implementation so output differences come only from corrupted data.
+    """
+    fps = []
+    n = len(hashes)
+    if n == 0:
+        return fps
+    if w <= 1:
+        idx = 0
+        for h in hashes:
+            fps.append((idx, h))
+            idx += 1
+        return fps
+    last_pos = -1
+    i = 0
+    while i + w <= n:
+        m = hashes[i]
+        pos = i
+        j = i + 1
+        while j < i + w:
+            if hashes[j] <= m:
+                m = hashes[j]
+                pos = j
+            j += 1
+        if pos != last_pos:
+            fps.append((pos, m))
+            last_pos = pos
+        i += 1
+    return fps
+
+
+def index_insert(heap, buckets, h, fileid, pos):
+    """Insert a fingerprint at the head of its hash chain.
+
+    Node layout: ``[hash, fileid, pos, next]``.
+    """
+    b = h % HASH_BUCKETS
+    node = heap.malloc(4)
+    node.write(0, h)
+    node.write(1, fileid)
+    node.write(2, pos)
+    node.write(3, buckets.read(b))
+    buckets.write(b, node)
+
+
+def index_remove_common(heap, buckets, h):
+    """Remove every node carrying an over-common hash from its bucket.
+
+    BUG moss6: when the node to remove sits at the bucket head, the code
+    frees it but forgets to update the bucket head pointer -- violating
+    the bucket/chain invariant.  The next traversal of this bucket reads
+    freed memory and crashes, typically during the later matching phase.
+    """
+    b = h % HASH_BUCKETS
+    node = buckets.read(b)
+    prev = NULL
+    while node is not NULL:
+        nxt = node.read(3)
+        if node.read(0) == h:
+            if prev is NULL:
+                record_bug("moss6")
+                heap.free(node)
+                # Missing: buckets.write(b, nxt)
+            else:
+                prev.write(3, nxt)
+                heap.free(node)
+        else:
+            prev = node
+        node = nxt
+
+
+def index_lookup(buckets, h):
+    """Collect every ``(fileid, pos)`` stored under hash ``h``."""
+    b = h % HASH_BUCKETS
+    node = buckets.read(b)
+    found = []
+    while node is not NULL:
+        if node.read(0) == h:
+            found.append((node.read(1), node.read(2)))
+        node = node.read(3)
+    return found
+
+
+def group_passages(positions, gap):
+    """Group sorted fingerprint positions into passages.
+
+    Positions within ``gap`` of their predecessor extend the current
+    passage; larger jumps start a new one.  Returns a list of
+    ``(start, end, length)`` with ``length`` = number of fingerprints.
+    """
+    passages = []
+    start = -1
+    prev = -1000000
+    length = 0
+    for pos in positions:
+        if pos - prev <= gap and start >= 0:
+            length += 1
+        else:
+            if start >= 0:
+                passages.append((start, prev, length))
+            start = pos
+            length = 1
+        prev = pos
+    if start >= 0:
+        passages.append((start, prev, length))
+    return passages
+
+
+def main(job):
+    """Run the matcher over one submission job.
+
+    ``job`` carries: ``heap_seed``, ``oom_rate``, ``config`` (``kgram``,
+    ``window``, ``match_comment``, ``gap``) and ``files`` (each with
+    ``language`` and ``tokens``).
+
+    Returns a sorted list of ``(i, j, score, n_passages)`` tuples for
+    file pairs with at least one shared fingerprint.
+    """
+    heap = SimHeap(seed=job["heap_seed"], oom_rate=job["oom_rate"])
+    config = job["config"]
+    files = job["files"]
+    nfiles = len(files)
+    kgram = config["kgram"]
+    window = config["window"]
+    gap = config["gap"]
+    match_comment = config["match_comment"]
+
+    # Language handler table: a real handler object for ids 0..16,
+    # NULL above that.
+    handlers = heap.malloc(LANG_HANDLERS + 8)
+    li = 0
+    while li < LANG_HANDLERS:
+        hrec = heap.malloc(1)
+        hrec.write(0, 100 + li)
+        handlers.write(li, hrec)
+        li += 1
+    while li < LANG_HANDLERS + 8:
+        handlers.write(li, NULL)
+        li += 1
+
+    # File table: 4 cells per file [language, size, handler_id, flags].
+    filetable = heap.malloc(FILE_CAP * 4)
+    buckets = heap.malloc(HASH_BUCKETS)
+    bi = 0
+    while bi < HASH_BUCKETS:
+        buckets.write(bi, NULL)
+        bi += 1
+
+    fingerprints = []
+    hash_files = {}
+    filesindex = 0
+    total_tokens = 0
+    for f in files:
+        language = f["language"]
+        if language > 16:
+            # BUG moss5: no validation of the language id; the handler
+            # slot holds NULL and the dereference below segfaults.
+            record_bug("moss5")
+        handler = handlers.read(language)
+        handler_id = handler.read(0)
+
+        if filesindex >= FILE_CAP:
+            # BUG moss4: missing bounds check on the file table.
+            record_bug("moss4")
+        buf, count = tokenize_file(heap, f["tokens"], match_comment)
+        total_tokens += count
+        filetable.write(filesindex * 4 + 0, language)
+        filetable.write(filesindex * 4 + 1, count)
+        filetable.write(filesindex * 4 + 2, handler_id)
+        filetable.write(filesindex * 4 + 3, 0)
+
+        hashes = kgram_hashes(buf, count, kgram)
+        fps = winnow(hashes, window)
+        fingerprints.append(fps)
+        for pos, h in fps:
+            index_insert(heap, buckets, h, filesindex, pos)
+            owners = hash_files.get(h)
+            if owners is None:
+                owners = set()
+                hash_files[h] = owners
+            owners.add(filesindex)
+        filesindex += 1
+
+    # Drop fingerprints shared by more than half the files (boilerplate).
+    dropped = set()
+    if nfiles >= DROP_MIN_FILES:
+        for h in sorted(hash_files):
+            if 2 * len(hash_files[h]) > nfiles:
+                dropped.add(h)
+                index_remove_common(heap, buckets, h)
+
+    # Pairwise matching via index lookups.
+    shared = {}
+    fid = 0
+    for fps in fingerprints:
+        seen = set()
+        for pos, h in fps:
+            if h in dropped or h in seen:
+                continue
+            seen.add(h)
+            for other, _opos in index_lookup(buckets, h):
+                if other == fid:
+                    continue
+                key = (fid, other) if fid < other else (other, fid)
+                entry = shared.get(key)
+                if entry is None:
+                    entry = set()
+                    shared[key] = entry
+                entry.add(h)
+        fid += 1
+
+    # Passage grouping and the passage table.
+    passage_table = heap.malloc(PASSAGE_CAP * 3)
+    passage_index = 0
+    results = []
+    for key in sorted(shared):
+        i, j = key
+        hashes_ij = shared[key]
+        positions = sorted(pos for pos, h in fingerprints[i] if h in hashes_ij)
+        passages = group_passages(positions, gap)
+        for start, end, length in passages:
+            if passage_index >= PASSAGE_CAP:
+                # BUG moss3: missing bounds check on the passage table.
+                record_bug("moss3")
+            passage_table.write(passage_index * 3 + 0, i)
+            passage_table.write(passage_index * 3 + 1, j)
+            passage_table.write(passage_index * 3 + 2, start)
+            passage_index += 1
+            if length >= DETAIL_THRESHOLD:
+                detail = heap.malloc(length, True)
+                if detail is NULL:
+                    # BUG moss2: malloc's NULL return is not checked.
+                    record_bug("moss2")
+                detail.write(0, start)
+                detail.write(length - 1, end)
+        results.append((i, j, len(hashes_ij), len(passages)))
+
+    # Final stats scratch buffer (the last allocation on the heap).
+    stats = heap.malloc(4)
+    stats.write(0, nfiles)
+    stats.write(1, total_tokens)
+    stats.write(2, passage_index)
+    stats.write(3, len(dropped))
+    if total_tokens > STATS_OVERRUN_THRESHOLD:
+        # BUG moss7: one-cell overrun of the final allocation.  It lands
+        # in trailing heap space, so it never independently causes a
+        # failure -- it only ever co-occurs with other bugs on big inputs.
+        record_bug("moss7")
+        stats.write(4, total_tokens)
+
+    return sorted(results)

@@ -1,0 +1,129 @@
+"""Correct reference implementation of the MOSS analogue.
+
+Mirrors :mod:`repro.subjects.moss.program` exactly -- same tokenisation
+(with *correct* comment handling), k-gram hashing, winnowing, over-common
+fingerprint dropping, matching and passage grouping -- but over plain
+Python data with no fixed-capacity tables, no simulated heap, and none of
+the seeded bugs.  The experiment oracle compares its output against the
+buggy program's, reproducing the paper's differential labelling ("we also
+ran a correct version of MOSS and compared the output of the two
+versions").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.subjects.moss.program import DROP_MIN_FILES, HASH_MOD
+
+
+def tokenize(tokens: Sequence[int], match_comment: bool) -> List[int]:
+    """Correct tokenisation: every comment kept (as its absolute value)
+    when comment matching is on, every comment skipped when off."""
+    out: List[int] = []
+    for t in tokens:
+        if t < 0:
+            if match_comment:
+                out.append(-t)
+        else:
+            out.append(t)
+    return out
+
+
+def kgram_hashes(tokens: Sequence[int], k: int) -> List[int]:
+    """Polynomial k-gram hashes; identical arithmetic to the program."""
+    hashes: List[int] = []
+    for i in range(len(tokens) - k + 1):
+        h = 0
+        for j in range(k):
+            h = (h * 31 + tokens[i + j]) % HASH_MOD
+        hashes.append(h)
+    return hashes
+
+
+def winnow(hashes: Sequence[int], w: int) -> List[Tuple[int, int]]:
+    """Winnowing with the rightmost-minimum rule; identical semantics."""
+    fps: List[Tuple[int, int]] = []
+    n = len(hashes)
+    if n == 0:
+        return fps
+    if w <= 1:
+        return [(i, h) for i, h in enumerate(hashes)]
+    last_pos = -1
+    for i in range(n - w + 1):
+        m = hashes[i]
+        pos = i
+        for j in range(i + 1, i + w):
+            if hashes[j] <= m:
+                m = hashes[j]
+                pos = j
+        if pos != last_pos:
+            fps.append((pos, m))
+            last_pos = pos
+    return fps
+
+
+def group_passages(
+    positions: Sequence[int], gap: int
+) -> List[Tuple[int, int, int]]:
+    """Group sorted positions into passages; identical semantics."""
+    passages: List[Tuple[int, int, int]] = []
+    start = -1
+    prev = -1000000
+    length = 0
+    for pos in positions:
+        if pos - prev <= gap and start >= 0:
+            length += 1
+        else:
+            if start >= 0:
+                passages.append((start, prev, length))
+            start = pos
+            length = 1
+        prev = pos
+    if start >= 0:
+        passages.append((start, prev, length))
+    return passages
+
+
+def reference_output(job: Dict) -> List[Tuple[int, int, int, int]]:
+    """Compute the correct matcher output for a job.
+
+    Returns the same shape as the buggy program's ``main``: a sorted list
+    of ``(i, j, shared_fingerprints, n_passages)``.
+    """
+    config = job["config"]
+    files = job["files"]
+    nfiles = len(files)
+    k = config["kgram"]
+    w = config["window"]
+    gap = config["gap"]
+    match_comment = config["match_comment"]
+
+    fingerprints: List[List[Tuple[int, int]]] = []
+    hash_files: Dict[int, Set[int]] = {}
+    for fid, f in enumerate(files):
+        toks = tokenize(f["tokens"], match_comment)
+        fps = winnow(kgram_hashes(toks, k), w)
+        fingerprints.append(fps)
+        for _pos, h in fps:
+            hash_files.setdefault(h, set()).add(fid)
+
+    dropped: Set[int] = set()
+    if nfiles >= DROP_MIN_FILES:
+        for h, owners in hash_files.items():
+            if 2 * len(owners) > nfiles:
+                dropped.add(h)
+
+    results: List[Tuple[int, int, int, int]] = []
+    hash_sets = [
+        {h for _pos, h in fps if h not in dropped} for fps in fingerprints
+    ]
+    for i in range(nfiles):
+        for j in range(i + 1, nfiles):
+            shared = hash_sets[i] & hash_sets[j]
+            if not shared:
+                continue
+            positions = sorted(pos for pos, h in fingerprints[i] if h in shared)
+            passages = group_passages(positions, gap)
+            results.append((i, j, len(shared), len(passages)))
+    return sorted(results)

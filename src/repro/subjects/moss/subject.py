@@ -1,0 +1,46 @@
+"""Subject wrapper for the MOSS analogue."""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.subjects import base
+from repro.subjects.moss import program as program_module
+from repro.subjects.moss.generator import generate_job
+from repro.subjects.moss.reference import reference_output
+
+
+class MossSubject(base.Subject):
+    """The Section 4.1 validation subject: winnowing matcher, 9 bugs.
+
+    Failure labelling is differential, as in the paper: a run fails if it
+    crashes *or* if its output differs from the correct reference
+    implementation's (this is what catches the output-only bug moss9).
+    """
+
+    name = "moss"
+    entry = "main"
+    bug_ids = (
+        "moss1",
+        "moss2",
+        "moss3",
+        "moss4",
+        "moss5",
+        "moss6",
+        "moss7",
+        "moss8",
+        "moss9",
+    )
+
+    def source(self) -> str:
+        """Source of the buggy program (instrumented by the harness)."""
+        return self.source_of(program_module)
+
+    def generate_input(self, rng: random.Random) -> Any:
+        """One random submission job."""
+        return generate_job(rng)
+
+    def oracle(self, program_input: Any, output: Any) -> bool:
+        """Differential oracle against the correct implementation."""
+        return output == reference_output(program_input)

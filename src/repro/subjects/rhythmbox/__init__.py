@@ -1,0 +1,14 @@
+"""The RHYTHMBOX analogue: an event-driven music player (Table 7).
+
+RHYTHMBOX 0.6.5 is "a complex, multi-threaded, event-driven system"; the
+paper isolated a race condition and a pervasive unsafe pattern of
+accessing the underlying object library.  The analogue is a discrete-
+event simulation of a player: an event queue drives playback ticks,
+database updates and widget signals, with two seeded bugs of exactly
+those species.  As in the paper, the crash stacks are useless -- every
+crash surfaces inside the main event loop.
+"""
+
+from repro.subjects.rhythmbox.subject import RhythmboxSubject
+
+__all__ = ["RhythmboxSubject"]

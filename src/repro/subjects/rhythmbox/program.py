@@ -1,0 +1,285 @@
+"""The buggy RHYTHMBOX-analogue program.
+
+A discrete-event player simulation.  Objects live on the simulated heap
+(so disposed objects really are freed memory):
+
+* the **db** record tracks library entries and a version counter, and
+  keeps a signal-handler list of subscribed views;
+* the **player** record owns a separate ``priv`` record holding the
+  timer flag, elapsed time, current track and volume;
+* **view** records subscribe to db change signals and cache state.
+
+Events are processed in timestamp order from one queue, so every crash
+stack bottoms out in ``main_loop`` -- "the stack in the main event loop
+is unchanging and all of the interesting state is in the queues".
+
+========  ==================================================================
+bug id    behaviour
+========  ==================================================================
+rb1       quitting stops the player and schedules finalisation, but the
+          playback tick already sitting in the queue is not cancelled;
+          if it drains *after* finalisation has freed the player's
+          ``priv`` record, the callback reads freed memory.  Whether the
+          tick lands before or after finalisation is a genuine timing
+          race.
+rb2       a view removed while its change signal is still queued takes
+          an early disposal path that forgets to disconnect its db
+          handler (the paper's pervasive unsafe library pattern); the
+          next db change signal walks the handler list into freed
+          memory.
+========  ==================================================================
+"""
+
+import heapq
+
+from repro.simmem.heap import SimHeap
+from repro.subjects.base import record_bug
+
+#: Playback tick period (simulation time units).
+TICK = 5
+#: Delay between quit and finalisation (the rb1 race window's edge).
+FINALIZE_DELAY = 3
+#: Delay before a queued view signal is drained (the rb2 race window).
+SIG_DRAIN_DELAY = 2
+#: priv record slots.
+PRIV_TIMER, PRIV_ELAPSED, PRIV_TRACK, PRIV_VOLUME = 0, 1, 2, 3
+#: view record slots.
+VIEW_ID, VIEW_SIG_QUEUED, VIEW_DB_VERSION = 0, 1, 2
+#: player states.
+STOPPED, PLAYING, PAUSED = 0, 1, 2
+
+
+class Shell:
+    """The application shell: owns every object and the event queue."""
+
+    def __init__(self, heap):
+        self.heap = heap
+        self.queue = []
+        self.seq = 0
+        self.now = 0
+        self.db = heap.malloc(2)
+        self.db.write(0, 0)  # entry count
+        self.db.write(1, 0)  # version
+        self.db_handlers = []  # connected view records
+        self.priv = heap.malloc(4)
+        self.priv.write(PRIV_TIMER, 0)
+        self.priv.write(PRIV_ELAPSED, 0)
+        self.priv.write(PRIV_TRACK, 0)
+        self.priv.write(PRIV_VOLUME, 50)
+        self.player = heap.malloc(2)
+        self.player.write(0, STOPPED)
+        self.player.write(1, self.priv)
+        self.views = {}
+        self.next_view = 1
+        self.player_disposed = False
+        self.shutdown = False
+        self.signals_emitted = 0
+
+    def push(self, delay, kind, arg):
+        """Schedule an event ``delay`` units from now."""
+        self.seq += 1
+        heapq.heappush(self.queue, (self.now + delay, self.seq, kind, arg))
+
+
+def add_view(shell):
+    """Create a view and connect it to the db change signal."""
+    view = shell.heap.malloc(3)
+    view.write(VIEW_ID, shell.next_view)
+    view.write(VIEW_SIG_QUEUED, 0)
+    view.write(VIEW_DB_VERSION, shell.db.read(1))
+    shell.views[shell.next_view] = view
+    shell.db_handlers.append(view)
+    shell.next_view += 1
+    return view
+
+
+def remove_view(shell, view_id):
+    """Dispose a view.
+
+    BUG rb2: when the view's change signal is still queued, the early
+    disposal path frees the record without disconnecting its handler.
+    The handler list then references freed memory until the next signal
+    emission crashes on it.
+    """
+    view = shell.views.pop(view_id, None)
+    if view is None:
+        return
+    sig_queued = view.read(VIEW_SIG_QUEUED)
+    if sig_queued == 1:
+        # BUG rb2: missing shell.db_handlers.remove(view) on this path.
+        record_bug("rb2")
+    else:
+        shell.db_handlers.remove(view)
+    shell.heap.free(view)
+
+
+def dispose_view_safely(shell, view_id):
+    """The correct disposal used during shutdown: disconnect, then free."""
+    view = shell.views.pop(view_id, None)
+    if view is None:
+        return
+    if view in shell.db_handlers:
+        shell.db_handlers.remove(view)
+    shell.heap.free(view)
+
+
+def db_update(shell, delta):
+    """Apply a library change and emit the change signal."""
+    count = shell.db.read(0) + delta
+    if count < 0:
+        count = 0
+    shell.db.write(0, count)
+    shell.db.write(1, shell.db.read(1) + 1)
+    emit_db_changed(shell)
+
+
+def emit_db_changed(shell):
+    """Mark each connected view's signal queued and schedule its drain.
+
+    Walking the handler list over a freed view record (rb2's aftermath)
+    segfaults here -- far from the faulty disposal.
+    """
+    shell.signals_emitted += 1
+    version = shell.db.read(1)
+    for view in shell.db_handlers:
+        queued = view.read(VIEW_SIG_QUEUED)
+        if queued == 0:
+            view.write(VIEW_SIG_QUEUED, 1)
+            shell.push(SIG_DRAIN_DELAY, "sig_drain", view.read(VIEW_ID))
+        view.write(VIEW_DB_VERSION, version)
+
+
+def on_sig_drain(shell, view_id):
+    """Deliver a queued view signal (clears the queued flag)."""
+    view = shell.views.get(view_id)
+    if view is None:
+        return
+    view.write(VIEW_SIG_QUEUED, 0)
+
+
+def player_play(shell, track):
+    """Start playback and arm the tick timer."""
+    state = shell.player.read(0)
+    priv = shell.player.read(1)
+    priv.write(PRIV_TRACK, track)
+    if state != PLAYING:
+        shell.player.write(0, PLAYING)
+        if priv.read(PRIV_TIMER) == 0:
+            priv.write(PRIV_TIMER, 1)
+            shell.push(TICK, "tick", 0)
+
+
+def player_stop(shell):
+    """Stop playback.
+
+    Clears the timer flag; the tick already queued is *not* cancelled
+    (rb1's precondition), but the flag check in the callback makes a
+    post-stop tick harmless -- unless the player has been finalised.
+    """
+    if shell.player_disposed:
+        return
+    shell.player.write(0, STOPPED)
+    priv = shell.player.read(1)
+    priv.write(PRIV_TIMER, 0)
+    priv.write(PRIV_ELAPSED, 0)
+
+
+def on_tick(shell):
+    """Playback tick callback.
+
+    BUG rb1: after finalisation freed ``priv``, the reads below hit
+    freed memory.  (The ``timer == 0`` early-out only covers a plain
+    stop.)
+    """
+    if shell.player_disposed:
+        record_bug("rb1")
+    priv = shell.priv
+    if priv.read(PRIV_TIMER) == 0:
+        return
+    priv.write(PRIV_ELAPSED, priv.read(PRIV_ELAPSED) + TICK)
+    if not shell.shutdown:
+        shell.push(TICK, "tick", 0)
+
+
+def on_quit(shell):
+    """Begin shutdown: stop playback, then finalise a moment later.
+
+    The gap between quit and finalisation is what makes rb1 a race: a
+    tick landing inside the gap is harmless, one landing after it reads
+    freed memory.
+    """
+    if shell.shutdown:
+        return
+    shell.shutdown = True
+    player_stop(shell)
+    shell.push(FINALIZE_DELAY, "finalize", 0)
+
+
+def on_finalize(shell):
+    """Dispose the player and every view (correctly disconnecting)."""
+    shell.player_disposed = True
+    shell.heap.free(shell.priv)
+    shell.heap.free(shell.player)
+    for view_id in list(shell.views):
+        dispose_view_safely(shell, view_id)
+
+
+def dispatch(shell, kind, arg):
+    """Route one event to its handler."""
+    if kind == "add_view":
+        add_view(shell)
+    elif kind == "remove_view":
+        if shell.views:
+            keys = sorted(shell.views)
+            remove_view(shell, keys[arg % len(keys)])
+    elif kind == "play":
+        if not shell.player_disposed:
+            player_play(shell, arg)
+    elif kind == "pause":
+        if not shell.player_disposed and shell.player.read(0) == PLAYING:
+            shell.player.write(0, PAUSED)
+    elif kind == "stop":
+        player_stop(shell)
+    elif kind == "volume":
+        if not shell.player_disposed:
+            priv = shell.player.read(1)
+            priv.write(PRIV_VOLUME, arg % 100)
+    elif kind == "db_update":
+        if not shell.shutdown:
+            db_update(shell, arg)
+    elif kind == "sig_drain":
+        on_sig_drain(shell, arg)
+    elif kind == "tick":
+        on_tick(shell)
+    elif kind == "quit":
+        on_quit(shell)
+    elif kind == "finalize":
+        on_finalize(shell)
+
+
+def main_loop(shell):
+    """Drain the event queue in timestamp order."""
+    guard = 0
+    while shell.queue and guard < 10000:
+        when, _seq, kind, arg = heapq.heappop(shell.queue)
+        shell.now = when
+        dispatch(shell, kind, arg)
+        guard += 1
+    return guard
+
+
+def main(job):
+    """Run one scripted session.
+
+    ``job``: ``heap_seed`` and ``script`` -- a list of ``(time, kind,
+    arg)`` actions.
+
+    Returns ``(events_processed, signals_emitted, final_db_version)``.
+    """
+    heap = SimHeap(seed=job["heap_seed"])
+    shell = Shell(heap)
+    for when, kind, arg in job["script"]:
+        shell.seq += 1
+        heapq.heappush(shell.queue, (when, shell.seq, kind, arg))
+    processed = main_loop(shell)
+    return (processed, shell.signals_emitted, shell.db.read(1))

@@ -1,0 +1,69 @@
+"""Subject wrapper and session-script generator for the RHYTHMBOX analogue."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Tuple
+
+from repro.subjects import base
+from repro.subjects.rhythmbox import program as program_module
+
+#: Session length range (simulation time units).
+SESSION_MIN, SESSION_MAX = 30, 120
+#: Probability the session ends with a quit (rb1's regime).
+P_QUIT = 0.75
+
+
+def generate_job(rng: random.Random) -> Dict:
+    """One random interactive session script.
+
+    Sessions mix playback control, library updates and view churn at
+    random timestamps, so whether a tick or a queued view signal races a
+    disposal depends entirely on generated timing -- the bugs fire (or
+    not) like real races.
+    """
+    horizon = rng.randint(SESSION_MIN, SESSION_MAX)
+    script: List[Tuple[int, str, int]] = []
+
+    for _ in range(rng.randint(1, 4)):
+        script.append((rng.randint(0, horizon // 2), "add_view", 0))
+    for _ in range(rng.randint(1, 3)):
+        script.append((rng.randint(0, horizon - 1), "play", rng.randint(1, 500)))
+    for _ in range(rng.randint(0, 2)):
+        script.append((rng.randint(0, horizon - 1), "stop", 0))
+    for _ in range(rng.randint(0, 2)):
+        script.append((rng.randint(0, horizon - 1), "pause", 0))
+    for _ in range(rng.randint(0, 3)):
+        script.append((rng.randint(0, horizon - 1), "volume", rng.randint(0, 150)))
+    for _ in range(rng.randint(0, 5)):
+        script.append(
+            (rng.randint(0, horizon - 1), "db_update", rng.randint(-3, 8))
+        )
+    for _ in range(rng.randint(0, 3)):
+        script.append(
+            (rng.randint(0, horizon - 1), "remove_view", rng.randint(0, 7))
+        )
+    if rng.random() < P_QUIT:
+        script.append((horizon, "quit", 0))
+
+    script.sort(key=lambda e: e[0])
+    return {
+        "heap_seed": rng.randint(0, 2 ** 31 - 1),
+        "script": script,
+    }
+
+
+class RhythmboxSubject(base.Subject):
+    """Table 7's subject: an event-driven system with two race bugs."""
+
+    name = "rhythmbox"
+    entry = "main"
+    bug_ids = ("rb1", "rb2")
+
+    def source(self) -> str:
+        """Source of the buggy program."""
+        return self.source_of(program_module)
+
+    def generate_input(self, rng: random.Random) -> Any:
+        """One random session script."""
+        return generate_job(rng)

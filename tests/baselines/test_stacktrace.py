@@ -1,0 +1,79 @@
+"""Tests for the stack-trace bucketing study."""
+
+from repro.baselines.stacktrace import signature_of, stack_study
+from repro.core.truth import GroundTruth
+
+from tests.helpers import make_reports
+
+
+def _population():
+    """Bug 'a' always crashes at the same place (unique signature);
+    bug 'b' crashes at two places, one of which bug 'c' also hits."""
+    stacks = [
+        ("main", "fa", "SimSegfault"),   # a
+        ("main", "fa", "SimSegfault"),   # a
+        ("main", "fb1", "SimSegfault"),  # b
+        ("main", "shared", "SimSegfault"),  # b
+        ("main", "shared", "SimSegfault"),  # c
+        None,  # successful run
+    ]
+    reports = make_reports(
+        1,
+        [
+            (True, set(), None),
+            (True, set(), None),
+            (True, set(), None),
+            (True, set(), None),
+            (True, set(), None),
+            (False, set(), None),
+        ],
+        stacks=stacks,
+    )
+    truth = GroundTruth(bug_ids=["a", "b", "c", "untriggered"])
+    for bugs in (["a"], ["a"], ["b"], ["b"], ["c"], []):
+        truth.add_run(bugs)
+    return reports, truth
+
+
+class TestSignature:
+    def test_full_and_top_only(self):
+        stack = ("main", "outer", "inner", "SimSegfault")
+        assert signature_of(stack) == stack
+        assert signature_of(stack, top_only=True) == ("inner",)
+
+    def test_missing_stack(self):
+        assert signature_of(None) is None
+        assert signature_of(()) is None
+
+
+class TestStudy:
+    def test_unique_signature_detection(self):
+        reports, truth = _population()
+        study = stack_study(reports, truth)
+        assert study.per_bug["a"].has_unique_signature
+        # b has one unique signature (fb1) even though 'shared' is shared.
+        assert study.per_bug["b"].has_unique_signature
+        # c only ever crashes at the shared location.
+        assert not study.per_bug["c"].has_unique_signature
+
+    def test_useful_fraction_counts_triggered_bugs_only(self):
+        reports, truth = _population()
+        study = stack_study(reports, truth)
+        assert study.useful_fraction == 2 / 3
+
+    def test_dominant_share(self):
+        reports, truth = _population()
+        study = stack_study(reports, truth)
+        assert study.per_bug["a"].dominant_share == 1.0
+        assert study.per_bug["b"].dominant_share == 0.5
+
+    def test_top_only_merges_by_crash_function(self):
+        reports, truth = _population()
+        study = stack_study(reports, truth, top_only=True)
+        assert study.per_bug["a"].has_unique_signature
+        assert not study.per_bug["c"].has_unique_signature
+
+    def test_signature_count(self):
+        reports, truth = _population()
+        study = stack_study(reports, truth)
+        assert study.n_signatures == 3

@@ -1,0 +1,62 @@
+"""Shared fixtures: small cached experiments for integration-level tests.
+
+Experiments are expensive (they execute thousands of instrumented runs),
+so each subject's small experiment is computed once per session and
+shared by every test that needs it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.elimination import DiscardStrategy
+from repro.harness.experiment import Experiment, run_experiment
+from repro.subjects.bc import BcSubject
+from repro.subjects.ccrypt import CcryptSubject
+from repro.subjects.exif import ExifSubject
+from repro.subjects.moss import MossSubject
+from repro.subjects.rhythmbox import RhythmboxSubject
+
+
+def _small_experiment(subject, n_runs, training_runs=60, **kwargs):
+    config = Experiment(
+        subject=subject,
+        n_runs=n_runs,
+        sampling=kwargs.pop("sampling", "adaptive"),
+        training_runs=training_runs,
+        seed=kwargs.pop("seed", 0),
+        strategy=kwargs.pop("strategy", DiscardStrategy.DISCARD_ALL),
+        max_predictors=kwargs.pop("max_predictors", 15),
+        **kwargs,
+    )
+    return run_experiment(config)
+
+
+@pytest.fixture(scope="session")
+def moss_experiment():
+    """A 500-run adaptive-sampling MOSS experiment (Section 4.1 scale-down)."""
+    return _small_experiment(MossSubject(), 500)
+
+
+@pytest.fixture(scope="session")
+def ccrypt_experiment():
+    """A 400-run CCRYPT experiment."""
+    return _small_experiment(CcryptSubject(), 400)
+
+
+@pytest.fixture(scope="session")
+def bc_experiment():
+    """A 400-run BC experiment."""
+    return _small_experiment(BcSubject(), 400)
+
+
+@pytest.fixture(scope="session")
+def exif_experiment():
+    """A 1200-run EXIF experiment (its bugs are rarer)."""
+    return _small_experiment(ExifSubject(), 1200)
+
+
+@pytest.fixture(scope="session")
+def rhythmbox_experiment():
+    """A 500-run RHYTHMBOX experiment."""
+    return _small_experiment(RhythmboxSubject(), 500)

@@ -1,0 +1,104 @@
+"""Tests for the harmonic-mean Importance metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.importance import (
+    harmonic_importance,
+    importance_scores,
+    log_sensitivity,
+)
+from repro.core.scores import compute_scores
+
+from tests.helpers import make_reports
+
+
+class TestSensitivity:
+    def test_log_normalisation(self):
+        sens = log_sensitivity(np.array([1, 10, 100]), num_failing=100)
+        assert sens[0] == pytest.approx(0.0)  # log 1 = 0
+        assert sens[1] == pytest.approx(0.5)
+        assert sens[2] == pytest.approx(1.0)
+
+    def test_zero_failures_give_zero(self):
+        assert log_sensitivity(np.array([0]), 50)[0] == 0.0
+
+    def test_degenerate_numf_gives_zero(self):
+        assert log_sensitivity(np.array([5]), 1)[0] == 0.0
+        assert log_sensitivity(np.array([5]), 0)[0] == 0.0
+
+
+class TestHarmonicMean:
+    def test_balances_both_terms(self):
+        h = harmonic_importance(np.array([0.5]), np.array([0.5]))
+        assert h[0] == pytest.approx(0.5)
+
+    def test_zero_when_either_term_nonpositive(self):
+        assert harmonic_importance(np.array([0.0]), np.array([0.9]))[0] == 0.0
+        assert harmonic_importance(np.array([-0.2]), np.array([0.9]))[0] == 0.0
+        assert harmonic_importance(np.array([0.9]), np.array([0.0]))[0] == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        inc=st.floats(0.01, 1.0),
+        sens=st.floats(0.01, 1.0),
+    )
+    def test_bounded_by_min_and_max(self, inc, sens):
+        """The harmonic mean lies between its arguments (and below 2x min)."""
+        h = harmonic_importance(np.array([inc]), np.array([sens]))[0]
+        eps = 1e-9
+        assert min(inc, sens) >= h / 2 - eps
+        assert min(inc, sens) - eps <= h <= max(inc, sens) + eps
+
+    def test_prefers_balance_over_extremes(self):
+        """A balanced predictor beats one that is extreme in one
+        dimension only -- the Section 3.3 motivation for Table 1(c)."""
+        balanced = harmonic_importance(np.array([0.6]), np.array([0.6]))[0]
+        specific_only = harmonic_importance(np.array([0.99]), np.array([0.15]))[0]
+        sensitive_only = harmonic_importance(np.array([0.15]), np.array([0.99]))[0]
+        assert balanced > specific_only
+        assert balanced > sensitive_only
+
+
+class TestImportanceScores:
+    def _scores(self, runs):
+        reports = make_reports(1, runs)
+        return compute_scores(reports)
+
+    def test_importance_zero_for_single_failure(self):
+        # F(P)=1 => log F = 0 => sensitivity 0 => importance 0.
+        s = self._scores([(True, {0}, None)] + [(False, set(), None)] * 5 + [(True, set(), None)] * 5)
+        imp = importance_scores(s)
+        assert imp.importance[0] == 0.0
+
+    def test_importance_increases_with_failure_coverage(self):
+        few = self._scores(
+            [(True, {0}, None)] * 3
+            + [(True, set(), None)] * 50
+            + [(False, set(), None)] * 50
+        )
+        many = self._scores(
+            [(True, {0}, None)] * 40
+            + [(True, set(), None)] * 13
+            + [(False, set(), None)] * 50
+        )
+        assert (
+            importance_scores(many).importance[0]
+            > importance_scores(few).importance[0]
+        )
+
+    def test_delta_interval_contains_point_estimate(self):
+        s = self._scores(
+            [(True, {0}, None)] * 20 + [(False, set(), None)] * 30
+        )
+        imp = importance_scores(s)
+        assert imp.lo[0] <= imp.importance[0] <= imp.hi[0]
+        assert 0.0 <= imp.lo[0] and imp.hi[0] <= 1.0
+
+    def test_interval_degenerate_for_zero_importance(self):
+        s = self._scores([(False, {0}, None)] * 10 + [(True, set(), None)] * 2)
+        imp = importance_scores(s)
+        assert imp.importance[0] == 0.0
+        assert imp.se[0] == 0.0

@@ -1,0 +1,101 @@
+"""Tests for report-archive persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.io import load_reports, save_reports
+from repro.core.scores import compute_scores
+from repro.core.truth import GroundTruth
+
+from tests.helpers import make_reports
+
+
+def _population():
+    stacks = [("main", "f", "Boom"), None, None]
+    reports = make_reports(
+        3,
+        [
+            (True, {0, 2}, None),
+            (False, {1}, None),
+            (False, set(), {0}),
+        ],
+        stacks=stacks,
+    )
+    truth = GroundTruth(bug_ids=["a", "b"])
+    truth.add_run(["a"])
+    truth.add_run([])
+    truth.add_run([])
+    return reports, truth
+
+
+class TestRoundTrip:
+    def test_exact_score_roundtrip(self, tmp_path):
+        reports, truth = _population()
+        path = tmp_path / "reports.npz"
+        save_reports(str(path), reports, truth)
+        loaded, loaded_truth = load_reports(str(path))
+
+        before = compute_scores(reports)
+        after = compute_scores(loaded)
+        np.testing.assert_array_equal(before.F, after.F)
+        np.testing.assert_array_equal(before.S, after.S)
+        np.testing.assert_allclose(before.increase, after.increase)
+        assert loaded.failed.tolist() == reports.failed.tolist()
+
+    def test_stacks_and_metas_roundtrip(self, tmp_path):
+        reports, truth = _population()
+        path = tmp_path / "reports.npz"
+        save_reports(str(path), reports, truth)
+        loaded, _ = load_reports(str(path))
+        assert loaded.stacks == reports.stacks
+
+    def test_truth_roundtrip(self, tmp_path):
+        reports, truth = _population()
+        path = tmp_path / "reports.npz"
+        save_reports(str(path), reports, truth)
+        _, loaded_truth = load_reports(str(path))
+        assert loaded_truth is not None
+        assert loaded_truth.bug_ids == truth.bug_ids
+        assert loaded_truth.occurrences == truth.occurrences
+
+    def test_table_roundtrip(self, tmp_path):
+        reports, _ = _population()
+        path = tmp_path / "reports.npz"
+        save_reports(str(path), reports)
+        loaded, truth = load_reports(str(path))
+        assert truth is None
+        assert loaded.table.n_predicates == reports.table.n_predicates
+        assert [p.name for p in loaded.table.predicates] == [
+            p.name for p in reports.table.predicates
+        ]
+
+    def test_real_scheme_tables_roundtrip(self, tmp_path):
+        from repro.core.predicates import PredicateTable, Scheme
+        from repro.core.reports import ReportBuilder
+
+        table = PredicateTable()
+        table.add_site(Scheme.BRANCHES, "f", 3, "x > 0")
+        table.add_site(Scheme.RETURNS, "f", 4, "g")
+        builder = ReportBuilder(table)
+        builder.add_run(True, {0: 2, 1: 1}, {0: 2, 4: 1})
+        reports = builder.build()
+        path = tmp_path / "r.npz"
+        save_reports(str(path), reports)
+        loaded, _ = load_reports(str(path))
+        assert loaded.table.sites[0].scheme is Scheme.BRANCHES
+        assert loaded.table.predicates[0].name == "x > 0 is TRUE"
+        assert loaded.site_counts[0, 0] == 2
+
+    def test_version_check(self, tmp_path):
+        reports, _ = _population()
+        path = tmp_path / "reports.npz"
+        save_reports(str(path), reports)
+        # Corrupt the version marker.
+        import numpy as _np
+
+        data = dict(_np.load(str(path), allow_pickle=False))
+        data["format_version"] = _np.asarray([999])
+        with open(path, "wb") as fh:
+            _np.savez_compressed(fh, **data)
+        with pytest.raises(ValueError):
+            load_reports(str(path))

@@ -1,0 +1,84 @@
+"""Tests for feedback-report storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.reports import FeedbackReport, ReportBuilder
+
+from tests.helpers import make_reports, make_table, run_pattern
+
+
+class TestBuilder:
+    def test_counts_roundtrip(self):
+        table = make_table(3)
+        builder = ReportBuilder(table)
+        builder.add_run(True, {0: 5, 2: 1}, {0: 2}, stack=("f", "g"))
+        builder.add_run(False, {1: 1}, {1: 1})
+        reports = builder.build()
+        assert reports.n_runs == 2
+        assert reports.num_failing == 1
+        assert reports.site_counts[0, 0] == 5
+        assert reports.true_counts[0, 0] == 2
+        assert reports.stacks[0] == ("f", "g")
+        assert reports.stacks[1] is None
+
+    def test_zero_counts_are_not_stored(self):
+        table = make_table(2)
+        builder = ReportBuilder(table)
+        builder.add_run(False, {0: 0}, {1: 0})
+        reports = builder.build()
+        assert reports.site_counts.nnz == 0
+        assert reports.true_counts.nnz == 0
+
+    def test_feedback_report_observed_true(self):
+        rep = FeedbackReport(failed=True, pred_true={3: 2})
+        assert rep.observed_true(3)
+        assert not rep.observed_true(0)
+
+
+class TestMasks:
+    def test_true_mask_and_runs_where_true_agree(self):
+        reports = make_reports(
+            2,
+            [
+                (True, {0}, None),
+                (False, {1}, None),
+                (True, {0, 1}, None),
+            ],
+        )
+        assert run_pattern(reports, 0) == [0, 2]
+        mask = reports.true_mask(0)
+        assert mask.tolist() == [True, False, True]
+
+    def test_subset_preserves_alignment(self):
+        reports = make_reports(
+            2,
+            [(True, {0}, None), (False, {1}, None), (True, {1}, None)],
+        )
+        sub = reports.subset(np.array([True, False, True]))
+        assert sub.n_runs == 2
+        assert sub.failed.tolist() == [True, True]
+        assert run_pattern(sub, 1) == [1]
+
+    def test_relabelled_changes_only_labels(self):
+        reports = make_reports(1, [(True, {0}, None), (True, set(), None)])
+        relabelled = reports.relabelled(reports.true_mask(0))
+        assert relabelled.num_failing == 1
+        assert reports.num_failing == 2  # original untouched
+        assert relabelled.true_counts is reports.true_counts
+
+
+class TestCoverage:
+    def test_site_coverage_sums_observation_counts(self):
+        table = make_table(2)
+        builder = ReportBuilder(table)
+        builder.add_run(False, {0: 3}, {})
+        builder.add_run(False, {0: 2, 1: 7}, {})
+        reports = builder.build()
+        assert reports.site_coverage().tolist() == [5, 7]
+
+    def test_repr_mentions_shape(self):
+        reports = make_reports(4, [(False, set(), None)])
+        text = repr(reports)
+        assert "runs=1" in text
+        assert "predicates=4" in text

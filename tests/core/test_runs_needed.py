@@ -1,0 +1,79 @@
+"""Tests for the Table 8 runs-needed methodology."""
+
+import pytest
+
+from repro.core.runs_needed import (
+    default_schedule,
+    estimate_runs_for_failures,
+    importance_at_n,
+    runs_needed,
+)
+
+from tests.helpers import make_reports
+
+
+def _interleaved_population(n=2000, bug_period=10):
+    """A steady-state population: every ``bug_period``-th run fails with
+    P0 true; everything else succeeds.  Importance_N converges quickly."""
+    runs = []
+    for i in range(n):
+        if i % bug_period == 0:
+            runs.append((True, {0}, None))
+        else:
+            runs.append((False, set(), None))
+    return make_reports(1, runs)
+
+
+class TestSchedule:
+    def test_paper_schedule_shape(self):
+        sched = default_schedule(25000)
+        assert sched[0] == 100
+        assert 900 in sched and 1000 in sched
+        assert sched[-1] == 25000
+        assert all(a < b for a, b in zip(sched, sched[1:]))
+
+    def test_schedule_clamps_to_population(self):
+        sched = default_schedule(450)
+        assert sched[-1] == 450
+        assert all(n <= 450 for n in sched)
+
+
+class TestRunsNeeded:
+    def test_converges_on_steady_population(self):
+        reports = _interleaved_population()
+        result = runs_needed(reports, 0)
+        assert result.runs_needed is not None
+        assert result.runs_needed < reports.n_runs
+        assert result.failing_true_at_n >= 1
+        # The curve records every schedule point.
+        assert len(result.curve) == len(default_schedule(reports.n_runs))
+
+    def test_importance_at_n_uses_prefix(self):
+        reports = _interleaved_population(n=500)
+        imp_100, f_100 = importance_at_n(reports, 0, 100)
+        imp_full, f_full = importance_at_n(reports, 0, 500)
+        assert f_100 == 10
+        assert f_full == 50
+
+    def test_rarer_bug_needs_more_runs(self):
+        common = runs_needed(_interleaved_population(bug_period=5), 0)
+        rare = runs_needed(_interleaved_population(bug_period=100), 0)
+        assert common.runs_needed <= rare.runs_needed
+
+    def test_custom_schedule_and_threshold(self):
+        reports = _interleaved_population(n=400)
+        result = runs_needed(reports, 0, threshold=0.5, schedule=[50, 400])
+        assert result.runs_needed in (50, 400)
+        assert result.threshold == 0.5
+
+
+class TestClosingEstimate:
+    def test_n_equals_f_over_p(self):
+        assert estimate_runs_for_failures(20, 0.1) == 200
+        assert estimate_runs_for_failures(10, 1.0) == 10
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            estimate_runs_for_failures(10, 0.0)
+        with pytest.raises(ValueError):
+            estimate_runs_for_failures(10, 1.5)

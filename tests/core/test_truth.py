@@ -1,0 +1,125 @@
+"""Tests for ground-truth bug profiles and the Table 3 co-occurrence."""
+
+import numpy as np
+import pytest
+
+from repro.core.truth import (
+    GroundTruth,
+    bugs_covered,
+    classify_predictor,
+    cooccurrence_table,
+    dominant_bug,
+)
+
+from tests.helpers import make_reports
+
+
+def _population_with_truth():
+    """Three bugs; bug overlap in run 2 (the paper: more than one bug can
+    occur in some runs); bug 'c' never triggers."""
+    reports = make_reports(
+        2,
+        [
+            (True, {0}, None),   # bug a
+            (True, {1}, None),   # bug b
+            (True, {0, 1}, None),  # bugs a+b together
+            (False, {0}, None),  # a's predicate true in a passing run
+            (False, set(), None),
+        ],
+    )
+    truth = GroundTruth(bug_ids=["a", "b", "c"])
+    truth.add_run(["a"])
+    truth.add_run(["b"])
+    truth.add_run(["a", "b"])
+    truth.add_run([])
+    truth.add_run([])
+    return reports, truth
+
+
+class TestGroundTruth:
+    def test_profiles_are_failing_runs_only(self):
+        reports, truth = _population_with_truth()
+        profile_a = truth.bug_profile("a", reports)
+        assert profile_a.tolist() == [True, False, True, False, False]
+
+    def test_profiles_may_overlap(self):
+        reports, truth = _population_with_truth()
+        a = truth.bug_profile("a", reports)
+        b = truth.bug_profile("b", reports)
+        assert (a & b).any()
+
+    def test_triggered_bugs_excludes_silent_ones(self):
+        reports, truth = _population_with_truth()
+        assert truth.triggered_bugs(reports) == ["a", "b"]
+
+    def test_unknown_bug_rejected(self):
+        truth = GroundTruth(bug_ids=["a"])
+        with pytest.raises(ValueError):
+            truth.add_run(["zzz"])
+
+    def test_misaligned_population_rejected(self):
+        reports, truth = _population_with_truth()
+        truth.occurrences.pop()
+        with pytest.raises(ValueError):
+            truth.bug_profile("a", reports)
+
+    def test_subset_keeps_alignment(self):
+        reports, truth = _population_with_truth()
+        mask = np.array([True, False, True, False, True])
+        sub_r = reports.subset(mask)
+        sub_t = truth.subset(mask)
+        assert sub_t.n_runs == sub_r.n_runs
+        assert sub_t.occurrences[1] == frozenset({"a", "b"})
+
+    def test_occurrence_counts(self):
+        _, truth = _population_with_truth()
+        assert truth.occurrence_counts() == {"a": 2, "b": 2, "c": 0}
+
+
+class TestCooccurrence:
+    def test_table3_columns(self):
+        reports, truth = _population_with_truth()
+        table = cooccurrence_table(reports, truth, [0, 1])
+        # P0 true in failing runs 0 and 2; bug a in both, bug b in run 2.
+        assert table[0] == {"a": 2, "b": 1, "c": 0}
+        assert table[1] == {"a": 1, "b": 2, "c": 0}
+
+    def test_dominant_bug_spike(self):
+        reports, truth = _population_with_truth()
+        assert dominant_bug(reports, truth, 0) == ("a", 2)
+
+    def test_dominant_bug_none_when_predicate_never_fails(self):
+        reports = make_reports(1, [(False, {0}, None), (True, set(), None)])
+        truth = GroundTruth(bug_ids=["a"])
+        truth.add_run([])
+        truth.add_run(["a"])
+        assert dominant_bug(reports, truth, 0) is None
+
+    def test_classify_predictor_taxonomy(self):
+        """Section 1's taxonomy: bug / sub-bug / super-bug predictors."""
+        # P0 covers all of bug a's failures; P1 covers all failures of
+        # both bugs; P2 covers a sliver of bug a; P3 nothing.
+        reports = make_reports(
+            4,
+            [
+                (True, {0, 1, 2}, None),  # a
+                (True, {0, 1}, None),     # a
+                (True, {0, 1}, None),     # a
+                (True, {1}, None),        # b
+                (True, {1}, None),        # b
+                (False, set(), None),
+            ],
+        )
+        truth = GroundTruth(bug_ids=["a", "b"])
+        for bugs in (["a"], ["a"], ["a"], ["b"], ["b"], []):
+            truth.add_run(bugs)
+        assert classify_predictor(reports, truth, 0) == "bug"
+        assert classify_predictor(reports, truth, 1) == "super-bug"
+        assert classify_predictor(reports, truth, 2) == "sub-bug"
+        assert classify_predictor(reports, truth, 3) == "none"
+
+    def test_bugs_covered_matches_lemma_statement(self):
+        reports, truth = _population_with_truth()
+        covered = bugs_covered(reports, truth, [0])
+        assert covered == {"a", "b"}  # P0's failing runs include run 2 (has b)
+        assert bugs_covered(reports, truth, []) == set()

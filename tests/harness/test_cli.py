@@ -1,0 +1,95 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import SUBJECTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in SUBJECTS:
+            assert name in out
+
+    def test_run_requires_subject(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_subject_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--subject", "nope"])
+
+    def test_strategy_choices(self):
+        args = build_parser().parse_args(
+            ["run", "--subject", "ccrypt", "--strategy", "3"]
+        )
+        assert args.strategy == 3
+
+
+class TestRunCommand:
+    def test_small_ccrypt_run(self, capsys):
+        code = main(
+            [
+                "run",
+                "--subject",
+                "ccrypt",
+                "--runs",
+                "200",
+                "--sampling",
+                "full",
+                "--training-runs",
+                "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ccrypt" in out
+        assert "predicate" in out
+
+    def test_save_then_analyze_round_trip(self, capsys, tmp_path):
+        archive = tmp_path / "reports.npz"
+        html = tmp_path / "report.html"
+        code = main(
+            [
+                "run",
+                "--subject",
+                "ccrypt",
+                "--runs",
+                "150",
+                "--sampling",
+                "full",
+                "--training-runs",
+                "0",
+                "--save",
+                str(archive),
+                "--html",
+                str(html),
+            ]
+        )
+        assert code == 0
+        assert archive.exists() and html.exists()
+        run_out = capsys.readouterr().out
+
+        code = main(["analyze", str(archive)])
+        assert code == 0
+        analyze_out = capsys.readouterr().out
+        # The same predictor list is recovered from the archive.
+        for line in run_out.splitlines():
+            if "cursor" in line:
+                assert any("cursor" in l for l in analyze_out.splitlines())
+                break
+
+    def test_analyze_ztest_method(self, capsys, tmp_path):
+        archive = tmp_path / "reports.npz"
+        main(
+            [
+                "run", "--subject", "ccrypt", "--runs", "150",
+                "--sampling", "full", "--training-runs", "0",
+                "--save", str(archive),
+            ]
+        )
+        capsys.readouterr()
+        assert main(["analyze", str(archive), "--method", "ztest"]) == 0
+        out = capsys.readouterr().out
+        assert "elimination selected" in out

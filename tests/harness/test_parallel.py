@@ -1,0 +1,47 @@
+"""Tests for the parallel trial runner."""
+
+import numpy as np
+import pytest
+
+from repro.harness.parallel import run_trials_parallel
+from repro.harness.runner import run_trials
+from repro.instrument.sampling import SamplingPlan
+from repro.instrument.tracer import instrument_source
+
+from tests.harness.test_runner import TinySubject
+
+
+class TestParallelRunner:
+    def test_bit_identical_to_serial(self):
+        subject = TinySubject()
+        plan = SamplingPlan.uniform(0.3)
+
+        program = instrument_source(subject.source(), subject.name)
+        serial_reports, serial_truth = run_trials(
+            subject, program, 300, plan, seed=5
+        )
+        par_reports, par_truth = run_trials_parallel(
+            subject, 300, plan, seed=5, jobs=3, chunk_size=40
+        )
+
+        assert par_reports.n_runs == serial_reports.n_runs
+        assert par_reports.failed.tolist() == serial_reports.failed.tolist()
+        assert (par_reports.true_counts != serial_reports.true_counts).nnz == 0
+        assert (par_reports.site_counts != serial_reports.site_counts).nnz == 0
+        assert par_reports.stacks == serial_reports.stacks
+        assert par_truth.occurrences == serial_truth.occurrences
+
+    def test_single_job_works(self):
+        subject = TinySubject()
+        reports, truth = run_trials_parallel(
+            subject, 50, SamplingPlan.full(), seed=0, jobs=1, chunk_size=10
+        )
+        assert reports.n_runs == 50 == truth.n_runs
+        assert reports.num_failing > 0
+
+    def test_chunk_boundaries_preserve_order(self):
+        subject = TinySubject()
+        reports, _ = run_trials_parallel(
+            subject, 25, SamplingPlan.full(), seed=100, jobs=2, chunk_size=4
+        )
+        assert [m["seed"] for m in reports.metas] == list(range(100, 125))

@@ -1,0 +1,59 @@
+"""Shared test utilities: compact builders for synthetic report sets."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.predicates import PredicateTable
+from repro.core.reports import ReportBuilder, ReportSet
+
+
+def make_table(n_predicates: int) -> PredicateTable:
+    """A table of ``n_predicates`` single-predicate custom sites.
+
+    Site ``i`` carries exactly predicate ``i`` (named ``P<i>``), so tests
+    can treat site and predicate indices interchangeably.
+    """
+    table = PredicateTable()
+    for i in range(n_predicates):
+        table.add_custom_site("test", i + 1, f"P{i}", [f"P{i}"])
+    return table
+
+
+def make_reports(
+    n_predicates: int,
+    runs: Sequence[Tuple[bool, Iterable[int], Optional[Iterable[int]]]],
+    stacks: Optional[Sequence[Optional[Tuple[str, ...]]]] = None,
+) -> ReportSet:
+    """Build a report set from per-run specs.
+
+    Each run is ``(failed, true_predicates, observed_sites)``; when
+    ``observed_sites`` is ``None`` it defaults to *all* sites (complete
+    observation, i.e. no sampling).  Predicates listed as true are always
+    also observed.
+    """
+    table = make_table(n_predicates)
+    builder = ReportBuilder(table)
+    for idx, (failed, true_preds, observed) in enumerate(runs):
+        true_set: Set[int] = set(true_preds)
+        if observed is None:
+            obs_set: Set[int] = set(range(n_predicates))
+        else:
+            obs_set = set(observed) | true_set
+        stack = None
+        if stacks is not None:
+            stack = stacks[idx]
+        builder.add_run(
+            failed,
+            {s: 1 for s in obs_set},
+            {p: 1 for p in true_set},
+            stack=stack,
+        )
+    return builder.build()
+
+
+def run_pattern(
+    reports: ReportSet, predicate_index: int
+) -> List[int]:
+    """Sorted run indices where the predicate was observed true."""
+    return sorted(reports.runs_where_true(predicate_index).tolist())

@@ -1,0 +1,81 @@
+"""Tests for program loading and crash-stack capture."""
+
+import pytest
+
+from repro.instrument.sampling import SamplingPlan
+from repro.instrument.tracer import crash_stack, instrument_source
+
+
+class TestInstrumentSource:
+    def test_module_level_code_executes(self):
+        src = """
+LIMIT = 40 + 2
+
+def f():
+    return LIMIT
+"""
+        prog = instrument_source(src, "t")
+        prog.begin_run(SamplingPlan.full(), seed=0)
+        assert prog.func("f")() == 42
+
+    def test_missing_function_raises(self):
+        prog = instrument_source("def f():\n    return 1\n", "t")
+        with pytest.raises(KeyError):
+            prog.func("nope")
+
+    def test_extra_globals_injected(self):
+        src = """
+def f():
+    return EXTRA + 1
+"""
+        prog = instrument_source(src, "t", extra_globals={"EXTRA": 10})
+        prog.begin_run(SamplingPlan.full(), seed=0)
+        assert prog.func("f")() == 11
+
+    def test_instrumented_source_is_inspectable(self):
+        prog = instrument_source("def f(x):\n    if x:\n        return 1\n    return 0\n", "t")
+        assert "_cbi.branch" in prog.source
+
+    def test_shared_table_across_programs(self):
+        from repro.core.predicates import PredicateTable
+
+        table = PredicateTable()
+        p1 = instrument_source("def f(x):\n    if x:\n        return 1\n    return 0\n", "a", table=table)
+        before = table.n_sites
+        p2 = instrument_source("def g(y):\n    if y:\n        return 2\n    return 0\n", "b", table=table)
+        assert table.n_sites > before
+        assert p2.table is table
+
+
+class TestCrashStack:
+    def test_stack_keeps_only_program_frames(self):
+        src = """
+def inner(x):
+    return x.missing_attribute
+
+def outer(x):
+    return inner(x)
+"""
+        prog = instrument_source(src, "t")
+        prog.begin_run(SamplingPlan.full(), seed=0)
+        try:
+            prog.func("outer")(7)
+        except AttributeError as exc:
+            stack = crash_stack(exc, prog.filename)
+        else:  # pragma: no cover
+            pytest.fail("expected a crash")
+        assert stack == ("outer", "inner", "AttributeError")
+
+    def test_stack_ends_with_exception_type(self):
+        src = """
+def f():
+    raise RuntimeError("boom")
+"""
+        prog = instrument_source(src, "t")
+        prog.begin_run(SamplingPlan.full(), seed=0)
+        try:
+            prog.func("f")()
+        except RuntimeError as exc:
+            stack = crash_stack(exc, prog.filename)
+        assert stack[-1] == "RuntimeError"
+        assert "f" in stack

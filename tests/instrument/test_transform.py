@@ -1,0 +1,446 @@
+"""Tests for the source-to-source instrumenter.
+
+The central property: instrumentation must preserve program semantics.
+We check it on hand-written programs covering every rewritten construct
+and on randomly generated programs (hypothesis).
+"""
+
+import ast
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.predicates import Scheme
+from repro.instrument.sampling import SamplingPlan
+from repro.instrument.tracer import instrument_source
+from repro.instrument.transform import InstrumentationConfig, Instrumenter
+
+
+def _run_both(source, func, *args, config=None):
+    """Execute ``func(*args)`` in the plain and the instrumented module."""
+    plain = {}
+    exec(compile(source, "<plain>", "exec"), plain)
+    expected = plain[func](*args)
+
+    prog = instrument_source(source, "t", config=config)
+    prog.begin_run(SamplingPlan.full(), seed=1)
+    actual = prog.func(func)(*args)
+    prog.end_run()
+    return expected, actual, prog
+
+
+class TestSemanticPreservation:
+    def test_branches_and_loops(self):
+        src = """
+def f(n):
+    total = 0
+    i = 0
+    while i < n:
+        if i % 3 == 0 and i % 2 == 0:
+            total += i
+        elif i % 5 == 0 or i > 12:
+            total -= 1
+        i += 1
+    return total
+"""
+        expected, actual, _ = _run_both(src, "f", 30)
+        assert expected == actual
+
+    def test_ternary_and_comprehension(self):
+        src = """
+def f(xs):
+    ys = [x * 2 for x in xs if x > 0]
+    return ys if len(ys) > 1 else []
+"""
+        expected, actual, _ = _run_both(src, "f", [3, -1, 4])
+        assert expected == actual
+
+    def test_call_wrapping_preserves_values(self):
+        src = """
+def g(x):
+    return x - 10
+
+def f(x):
+    return g(abs(x)) + len([x])
+"""
+        expected, actual, _ = _run_both(src, "f", -5)
+        assert expected == actual
+
+    def test_short_circuit_evaluation_preserved(self):
+        src = """
+CALLS = []
+
+def effect(tag, value):
+    CALLS.append(tag)
+    return value
+
+def f():
+    r = effect('a', False) and effect('b', True)
+    s = effect('c', True) or effect('d', True)
+    return (r, s, CALLS)
+"""
+        expected, actual, _ = _run_both(src, "f")
+        assert expected == actual  # 'b' and 'd' never evaluated
+
+    def test_augmented_and_annotated_assignments(self):
+        src = """
+def f(n):
+    x: int = 3
+    x += n
+    x *= 2
+    return x
+"""
+        expected, actual, _ = _run_both(src, "f", 4)
+        assert expected == actual
+
+    def test_try_except_with_and_nested_functions(self):
+        src = """
+def f(n):
+    def inner(k):
+        return k * 3
+    out = []
+    try:
+        out.append(inner(n))
+        if n < 0:
+            raise ValueError("neg")
+    except ValueError:
+        out.append(-1)
+    finally:
+        out.append(99)
+    return out
+"""
+        for arg in (2, -2):
+            expected, actual, _ = _run_both(src, "f", arg)
+            assert expected == actual
+
+    def test_classes_and_methods(self):
+        src = """
+class Counter:
+    def __init__(self, start):
+        self.value = start
+
+    def bump(self, by):
+        self.value += by
+        return self.value
+
+def f(n):
+    c = Counter(n)
+    for i in range(3):
+        c.bump(i)
+    return c.value
+"""
+        expected, actual, _ = _run_both(src, "f", 10)
+        assert expected == actual
+
+    def test_unbound_variable_paths_do_not_break(self):
+        """Scalar-pair capture of a maybe-unbound variable must not
+        change behaviour."""
+        src = """
+def f(flag):
+    if flag:
+        y = 10
+    z = 5
+    return z
+"""
+        expected, actual, _ = _run_both(src, "f", False)
+        assert expected == actual
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.integers(-20, 20),
+        b=st.integers(-20, 20),
+        ops=st.lists(st.sampled_from(["+", "-", "*"]), min_size=1, max_size=4),
+    )
+    def test_random_arithmetic_programs(self, a, b, ops):
+        body = ["    r = a"]
+        for i, op in enumerate(ops):
+            body.append(f"    r = r {op} (b + {i}) if r > {i} else r {op} a")
+        src = "def f(a, b):\n" + "\n".join(body) + "\n    return r\n"
+        expected, actual, _ = _run_both(src, "f", a, b)
+        assert expected == actual
+
+
+class TestSiteRegistration:
+    def test_branch_sites_for_if_and_while(self):
+        src = """
+def f(x):
+    while x > 0:
+        if x % 2:
+            x -= 1
+        x -= 1
+    return x
+"""
+        prog = instrument_source(
+            src, "t", config=InstrumentationConfig(returns=False, scalar_pairs=False)
+        )
+        branch_sites = [s for s in prog.table.sites if s.scheme is Scheme.BRANCHES]
+        assert len(branch_sites) == 2
+        descs = {s.description for s in branch_sites}
+        assert descs == {"x > 0", "x % 2"}
+
+    def test_descriptions_do_not_leak_instrumentation(self):
+        src = """
+def f(x):
+    if g(x) > 0 and h(x):
+        return 1
+    return 0
+
+def g(x):
+    return x
+
+def h(x):
+    return x
+"""
+        prog = instrument_source(src, "t")
+        for pred in prog.table.predicates:
+            assert "_cbi" not in pred.name
+
+    def test_returns_sites_per_call(self):
+        src = """
+def f(x):
+    a = g(x)
+    return g(a) + h(x)
+
+def g(x):
+    return x
+
+def h(x):
+    return x
+"""
+        prog = instrument_source(
+            src, "t", config=InstrumentationConfig(branches=False, scalar_pairs=False)
+        )
+        ret_sites = [s for s in prog.table.sites if s.scheme is Scheme.RETURNS]
+        assert len(ret_sites) == 3
+        assert {s.description for s in ret_sites} == {"g", "h"}
+
+    def test_scalar_pair_sites_include_old_value(self):
+        src = """
+def f(a):
+    x = a + 1
+    x = x * 2
+    return x
+"""
+        prog = instrument_source(
+            src, "t", config=InstrumentationConfig(branches=False, returns=False)
+        )
+        descs = [s.description for s in prog.table.sites]
+        assert "new value of x __ old value of x" in descs
+        assert any(d == "x __ a" for d in descs)
+
+    def test_for_loop_target_gets_pairs(self):
+        src = """
+def f(n):
+    total = 0
+    for i in range(n):
+        total += i
+    return total
+"""
+        prog = instrument_source(
+            src, "t", config=InstrumentationConfig(branches=False, returns=False)
+        )
+        descs = [s.description for s in prog.table.sites]
+        assert any(d.startswith("i __ ") for d in descs)
+
+    def test_constants_appear_as_pair_candidates(self):
+        src = """
+def f(a):
+    limit = 500
+    count = a
+    return count
+"""
+        prog = instrument_source(
+            src, "t", config=InstrumentationConfig(branches=False, returns=False)
+        )
+        names = [p.name for p in prog.table.predicates]
+        assert "count > 500" in names
+
+
+class TestExclusions:
+    def test_excluded_call_prefixes_not_wrapped(self):
+        src = """
+def record_bug(x):
+    return 1
+
+def f():
+    return record_bug("id")
+"""
+        prog = instrument_source(
+            src, "t", config=InstrumentationConfig(branches=False, scalar_pairs=False)
+        )
+        assert all(s.description != "record_bug" for s in prog.table.sites)
+
+    def test_excluded_functions_not_instrumented(self):
+        src = """
+def hot(x):
+    if x > 0:
+        return x
+    return -x
+
+def f(x):
+    if x > 1:
+        return hot(x)
+    return 0
+"""
+        config = InstrumentationConfig(
+            returns=False, scalar_pairs=False, exclude_functions=frozenset({"hot"})
+        )
+        prog = instrument_source(src, "t", config=config)
+        functions = {s.function for s in prog.table.sites}
+        assert "hot" not in functions
+        assert "f" in functions
+
+    def test_scheme_toggles(self):
+        src = """
+def f(x):
+    y = g(x)
+    if y > 0:
+        return y
+    return 0
+
+def g(x):
+    return x
+"""
+        none = instrument_source(
+            src,
+            "t",
+            config=InstrumentationConfig(
+                branches=False, returns=False, scalar_pairs=False
+            ),
+        )
+        assert none.table.n_sites == 0
+
+
+class TestFunctionEntries:
+    SRC = """
+def alpha(x):
+    return x + 1
+
+def beta(x):
+    return alpha(x) * 2
+"""
+
+    def test_entry_sites_registered(self):
+        prog = instrument_source(
+            self.SRC,
+            "t",
+            config=InstrumentationConfig(
+                branches=False,
+                returns=False,
+                scalar_pairs=False,
+                function_entries=True,
+            ),
+        )
+        entry_sites = [
+            s for s in prog.table.sites if s.scheme is Scheme.FUNCTION_ENTRIES
+        ]
+        assert {s.description for s in entry_sites} == {"alpha", "beta"}
+        names = [p.name for p in prog.table.predicates]
+        assert "alpha entered" in names
+
+    def test_entries_recorded_as_coverage(self):
+        prog = instrument_source(
+            self.SRC,
+            "t",
+            config=InstrumentationConfig(
+                branches=False,
+                returns=False,
+                scalar_pairs=False,
+                function_entries=True,
+            ),
+        )
+        prog.begin_run(SamplingPlan.full(), seed=0)
+        assert prog.func("beta")(3) == 8
+        site_obs, pred_true = prog.end_run()
+        assert len(site_obs) == 2  # both functions entered
+        assert all(count == 1 for count in pred_true.values())
+
+    def test_default_config_has_no_entry_sites(self):
+        prog = instrument_source(self.SRC, "t")
+        assert not any(
+            s.scheme is Scheme.FUNCTION_ENTRIES for s in prog.table.sites
+        )
+
+    def test_semantics_preserved(self):
+        expected, actual, _ = _run_both(
+            self.SRC,
+            "beta",
+            5,
+            config=InstrumentationConfig(function_entries=True),
+        )
+        assert expected == actual
+
+
+class TestFloatKindsScheme:
+    SRC = """
+def f(a, b):
+    ratio = a / b if b else float('nan')
+    total = a + b
+    return (ratio, total)
+"""
+
+    def _config(self):
+        return InstrumentationConfig(
+            branches=False, returns=False, scalar_pairs=False, float_kinds=True
+        )
+
+    def test_sites_registered_per_assignment(self):
+        prog = instrument_source(self.SRC, "t", config=self._config())
+        fk = [s for s in prog.table.sites if s.scheme is Scheme.FLOAT_KINDS]
+        assert {s.description for s in fk} == {"ratio", "total"}
+
+    def test_observations_classify_values(self):
+        prog = instrument_source(self.SRC, "t", config=self._config())
+        prog.begin_run(SamplingPlan.full(), seed=0)
+        prog.func("f")(1.0, 0)
+        _, pred_true = prog.end_run()
+        names = {prog.table.predicates[i].name for i in pred_true}
+        assert "ratio is NaN" in names
+        # total = 1.0 + 0 = 1.0 (float): positive.
+        assert "total is positive" in names
+
+    def test_semantics_preserved(self):
+        expected, actual, _ = _run_both(
+            self.SRC, "f", 6.0, 3.0, config=self._config()
+        )
+        assert expected == actual
+
+    def test_int_assignments_unobserved(self):
+        prog = instrument_source(self.SRC, "t", config=self._config())
+        prog.begin_run(SamplingPlan.full(), seed=0)
+        prog.func("f")(6, 3)  # ints: ratio is float (true div), total int
+        site_obs, _ = prog.end_run()
+        fk_sites = {
+            s.index for s in prog.table.sites if s.scheme is Scheme.FLOAT_KINDS
+        }
+        observed_fk = fk_sites & set(site_obs)
+        descs = {prog.table.sites[s].description for s in observed_fk}
+        assert descs == {"ratio"}
+
+
+class TestPairCaps:
+    def test_max_pair_vars_cap(self):
+        lines = ["def f(a):"]
+        for i in range(15):
+            lines.append(f"    v{i} = a + {i}")
+        lines.append("    final = a")
+        lines.append("    return final")
+        src = "\n".join(lines) + "\n"
+        capped = Instrumenter(
+            config=InstrumentationConfig(
+                branches=False, returns=False, max_pair_vars=3, max_pair_consts=0,
+                include_old_value=False,
+            )
+        )
+        capped.instrument(src)
+        final_sites = [
+            s for s in capped.table.sites if s.description.startswith("final __ ")
+        ]
+        assert len(final_sites) == 3
+        # The most recently assigned variables are kept.
+        assert {s.description for s in final_sites} == {
+            "final __ v12",
+            "final __ v13",
+            "final __ v14",
+        }

@@ -1,0 +1,145 @@
+"""Tests for the BC subject: parser, evaluator, and the growth overrun."""
+
+import random
+
+import pytest
+
+from repro.subjects import base
+from repro.subjects.bc import BcSubject, program
+from repro.subjects.bc.subject import generate_job, reference_output
+
+
+def _run(statements, heap_seed=1):
+    job = {"heap_seed": heap_seed, "statements": statements}
+    base.begin_truth_capture()
+    try:
+        out = program.main(job)
+        crashed = False
+    except Exception:
+        out = None
+        crashed = True
+    return out, crashed, base.end_truth_capture()
+
+
+class TestTokenizer:
+    def test_numbers_names_operators(self):
+        toks = program.tokenize("x1 = 42 + foo[3]")
+        kinds = [t[0] for t in toks]
+        assert kinds == ["name", "=", "num", "+", "name", "[", "num", "]", "end"]
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(ValueError):
+            program.tokenize("x = 1 $ 2")
+
+
+class TestParserEvaluator:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("print 2 + 3 * 4", 14),
+            ("print (2 + 3) * 4", 20),
+            ("print 10 - 2 - 3", 5),  # left associative
+            ("print 17 % 5", 2),
+            ("print 17 / 5", 3),  # integer division
+            ("print 7 / 0", 0),  # guarded division
+            ("print -3 + 5", 2),
+        ],
+    )
+    def test_arithmetic(self, text, expected):
+        out, crashed, _ = _run([text])
+        assert not crashed
+        assert out == [expected]
+
+    def test_variables_and_arrays(self):
+        out, crashed, _ = _run(
+            ["x = 5", "a[2] = x * 3", "print a[2] + x", "print a[9]"]
+        )
+        assert not crashed
+        assert out == [20, 0]
+
+    def test_undefined_variable_reads_zero(self):
+        out, _, _ = _run(["print nosuch + 1"])
+        assert out == [1]
+
+    def test_parse_error_on_malformed_statement(self):
+        _, crashed, _ = _run(["x = = 3"])
+        assert crashed  # ValueError from the parser
+
+    def test_matches_reference_on_random_programs(self):
+        rng = random.Random(13)
+        checked = 0
+        for _ in range(40):
+            job = generate_job(rng)
+            base.begin_truth_capture()
+            try:
+                out = program.main(job)
+            except Exception:
+                assert "bc1" in base.end_truth_capture()
+                continue
+            bugs = base.end_truth_capture()
+            if not bugs:
+                assert out == reference_output(job)
+                checked += 1
+        assert checked > 5
+
+
+class TestBugTrigger:
+    def _many_vars_then_arrays(self, n_vars, n_arrays):
+        stmts = [f"v{i} = {i}" for i in range(n_vars)]
+        stmts += [f"a{k}[0] = {k}" for k in range(n_arrays)]
+        stmts += ["print v0"]
+        return stmts
+
+    def test_bc1_triggers_with_many_scalars(self):
+        # Third array triggers growth to capacity 6; 10 scalars overrun.
+        _, _, bugs = _run(self._many_vars_then_arrays(10, 3))
+        assert "bc1" in bugs
+
+    def test_bc1_not_triggered_with_few_scalars(self):
+        _, crashed, bugs = _run(self._many_vars_then_arrays(4, 3))
+        assert "bc1" not in bugs
+        assert not crashed
+
+    def test_bc1_crash_is_nondeterministic_in_layout(self):
+        """The same overrun crashes under some heap layouts and not
+        others -- the paper's non-deterministic bug behaviour."""
+        outcomes = set()
+        for seed in range(30):
+            _, crashed, bugs = _run(
+                self._many_vars_then_arrays(9, 3), heap_seed=seed
+            )
+            if "bc1" in bugs:
+                outcomes.add(crashed)
+        assert outcomes == {True, False}
+
+    def test_bc1_crash_is_after_the_overrun(self):
+        """When it crashes, the exception surfaces at a later allocation,
+        not inside more_arrays (no useful stack, Section 4.2.2)."""
+        import traceback
+
+        for seed in range(40):
+            job = {
+                "heap_seed": seed,
+                "statements": self._many_vars_then_arrays(12, 3),
+            }
+            base.begin_truth_capture()
+            try:
+                program.main(job)
+            except Exception:
+                tb = traceback.format_exc()
+                base.end_truth_capture()
+                assert "more_arrays" not in tb.splitlines()[-1]
+                return
+            base.end_truth_capture()
+        pytest.fail("expected at least one crash across layouts")
+
+
+class TestSubjectProtocol:
+    def test_generate_inputs_are_well_formed(self):
+        subject = BcSubject()
+        rng = random.Random(17)
+        for _ in range(10):
+            job = subject.generate_input(rng)
+            assert job["statements"]
+            for stmt in job["statements"]:
+                program.tokenize(stmt)  # must lex cleanly

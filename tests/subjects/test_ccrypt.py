@@ -1,0 +1,123 @@
+"""Tests for the CCRYPT subject."""
+
+import random
+
+import pytest
+
+from repro.simmem.errors import SimSegfault
+from repro.subjects import base
+from repro.subjects.ccrypt import CcryptSubject, program
+from repro.subjects.ccrypt.subject import generate_job, reference_output
+
+
+def _job(**overrides):
+    job = {
+        "heap_seed": 1,
+        "mode": "encrypt",
+        "key": [1, 2, 3],
+        "data": list(range(40)),
+        "output_exists": False,
+        "force": False,
+        "stdin_lines": [],
+    }
+    job.update(overrides)
+    return job
+
+
+def _run(job):
+    base.begin_truth_capture()
+    try:
+        out = program.main(job)
+        crashed = False
+    except Exception:
+        out = None
+        crashed = True
+    return out, crashed, base.end_truth_capture()
+
+
+class TestCipher:
+    def test_encrypt_decrypt_roundtrip(self):
+        data = [random.Random(0).randint(0, 255) for _ in range(64)]
+        enc, _, _ = _run(_job(data=data))
+        assert enc[0] is True
+        dec, _, _ = _run(_job(mode="decrypt", data=enc[1]))
+        assert dec[1] == data
+
+    def test_key_changes_ciphertext(self):
+        a, _, _ = _run(_job(key=[1]))
+        b, _, _ = _run(_job(key=[2]))
+        assert a[1] != b[1]
+
+    def test_matches_reference(self):
+        rng = random.Random(5)
+        for _ in range(30):
+            job = generate_job(rng)
+            out, crashed, bugs = _run(job)
+            if crashed:
+                assert "ccrypt1" in bugs
+                continue
+            assert out == reference_output(job)
+
+
+class TestPromptPaths:
+    def test_force_skips_prompt(self):
+        out, crashed, bugs = _run(_job(output_exists=True, force=True))
+        assert not crashed and not bugs
+        assert out[0] is True
+
+    def test_yes_answer_proceeds(self):
+        out, crashed, bugs = _run(
+            _job(output_exists=True, stdin_lines=[[ord("y"), 10]])
+        )
+        assert not crashed
+        assert out[0] is True
+
+    def test_no_answer_declines(self):
+        out, crashed, _ = _run(
+            _job(output_exists=True, stdin_lines=[[ord("N"), 10]])
+        )
+        assert out == (False, [], 0)
+
+    def test_garbage_answers_consume_lines(self):
+        out, crashed, _ = _run(
+            _job(
+                output_exists=True,
+                stdin_lines=[[ord("?"), 10], [ord("x"), 10], [ord("y"), 10]],
+            )
+        )
+        assert not crashed
+        assert out[0] is True
+
+
+class TestBugTrigger:
+    def test_ccrypt1_eof_dereference(self):
+        base.begin_truth_capture()
+        with pytest.raises(SimSegfault):
+            program.main(_job(output_exists=True, stdin_lines=[]))
+        assert "ccrypt1" in base.end_truth_capture()
+
+    def test_ccrypt1_after_garbage_exhausts_stdin(self):
+        base.begin_truth_capture()
+        with pytest.raises(SimSegfault):
+            program.main(
+                _job(output_exists=True, stdin_lines=[[ord("?"), 10]])
+            )
+        assert "ccrypt1" in base.end_truth_capture()
+
+    def test_reference_says_eof_declines(self):
+        job = _job(output_exists=True, stdin_lines=[])
+        assert reference_output(job) == (False, [], 0)
+
+    def test_bug_is_deterministic(self):
+        """Failure(P) = 1.0 territory: the crash happens every time."""
+        for seed in range(5):
+            job = _job(heap_seed=seed, output_exists=True, stdin_lines=[])
+            _, crashed, bugs = _run(job)
+            assert crashed and bugs == ["ccrypt1"]
+
+
+class TestSubjectProtocol:
+    def test_subject_metadata(self):
+        subject = CcryptSubject()
+        assert subject.bug_ids == ("ccrypt1",)
+        assert "def main" in subject.source()

@@ -1,0 +1,154 @@
+"""Tests for the EXIF subject and its three seeded bugs."""
+
+import random
+
+import pytest
+
+from repro.simmem.errors import SimSegfault
+from repro.subjects import base
+from repro.subjects.exif import ExifSubject, program
+from repro.subjects.exif.subject import BUF_SIZE, generate_job
+
+
+def _job(**overrides):
+    job = {
+        "heap_seed": 1,
+        "ifds": [
+            {
+                "entries": [
+                    {"tag": 0x100, "format": 3, "components": 4, "values": [1, 2, 3, 4]}
+                ]
+            }
+        ],
+        "thumbnail": None,
+        "maker_note": None,
+        "buf_size": BUF_SIZE,
+    }
+    job.update(overrides)
+    return job
+
+
+def _run(job):
+    base.begin_truth_capture()
+    try:
+        out = program.main(job)
+        crashed = False
+    except Exception:
+        out = None
+        crashed = True
+    return out, crashed, base.end_truth_capture()
+
+
+class TestCleanParsing:
+    def test_entry_counts_and_sizes(self):
+        out, crashed, bugs = _run(_job())
+        assert not crashed and not bugs
+        n_entries, maxlen, thumb_len, mnote_len = out
+        assert n_entries == 1
+        assert maxlen == 8 + (8 % 4)  # format 3 = 2 bytes * 4 components
+
+    def test_valid_thumbnail(self):
+        thumb = {"data": [9] * 32, "declared_len": 16}
+        out, crashed, bugs = _run(_job(thumbnail=thumb))
+        assert not crashed and not bugs
+        assert out[2] == 16
+
+    def test_valid_maker_note_roundtrip(self):
+        note = {"count": 2, "offsets": [0, 50], "sizes": [8, 8]}
+        out, crashed, bugs = _run(_job(maker_note=note))
+        assert not crashed and not bugs
+        assert out[3] == 16
+
+
+class TestExif1:
+    def test_negative_index_recorded(self):
+        thumb = {"data": [1] * 20, "declared_len": 60}
+        _, _, bugs = _run(_job(thumbnail=thumb))
+        assert "exif1" in bugs
+
+    def test_crash_depends_on_layout(self):
+        outcomes = set()
+        for seed in range(40):
+            thumb = {"data": [1] * 20, "declared_len": 90}
+            _, crashed, bugs = _run(_job(heap_seed=seed, thumbnail=thumb))
+            if "exif1" in bugs:
+                outcomes.add(crashed)
+        assert True in outcomes  # it does crash under some layouts
+
+
+class TestExif2:
+    def _huge(self):
+        return {
+            "tag": 0x8769,
+            "format": 5,  # 8 bytes per component
+            "components": 300,
+            "values": [7] * 48,
+        }
+
+    def test_workspace_overrun_recorded(self):
+        job = _job(ifds=[{"entries": [self._huge()]}])
+        _, _, bugs = _run(job)
+        assert "exif2" in bugs
+
+    def test_small_entries_never_trigger(self):
+        job = _job()
+        _, _, bugs = _run(job)
+        assert "exif2" not in bugs
+
+
+class TestExif3:
+    def test_paper_worked_example(self):
+        """o + s > buf_size leaves an entry uninitialised in the load
+        phase; the save phase memcpy then segfaults."""
+        note = {"count": 2, "offsets": [0, BUF_SIZE], "sizes": [8, 8]}
+        base.begin_truth_capture()
+        with pytest.raises(SimSegfault):
+            program.main(_job(maker_note=note))
+        assert "exif3" in base.end_truth_capture()
+
+    def test_crash_is_in_save_not_load(self):
+        import traceback
+
+        note = {"count": 1, "offsets": [BUF_SIZE], "sizes": [16]}
+        base.begin_truth_capture()
+        try:
+            program.main(_job(maker_note=note))
+            pytest.fail("expected a crash")
+        except SimSegfault:
+            tb = traceback.format_exc()
+        finally:
+            base.end_truth_capture()
+        assert "mnote_canon_save" in tb
+        assert "memcpy" in tb
+
+    def test_valid_offsets_never_trigger(self):
+        note = {"count": 3, "offsets": [0, 20, 40], "sizes": [10, 10, 10]}
+        _, crashed, bugs = _run(_job(maker_note=note))
+        assert not crashed and "exif3" not in bugs
+
+
+class TestGenerator:
+    def test_rates_are_ordered_like_the_paper(self):
+        """exif3 must be the rarest bug (the paper: 21 failing runs for
+        bug #3 vs thousands of total runs)."""
+        rng = random.Random(23)
+        counts = {"exif1": 0, "exif2": 0, "exif3": 0}
+        for _ in range(3000):
+            job = generate_job(rng)
+            base.begin_truth_capture()
+            try:
+                program.main(job)
+            except Exception:
+                pass
+            for b in base.end_truth_capture():
+                counts[b] += 1
+        assert counts["exif3"] > 0
+        assert counts["exif3"] < counts["exif2"]
+        assert counts["exif3"] < counts["exif1"]
+
+    def test_subject_protocol(self):
+        subject = ExifSubject()
+        assert subject.bug_ids == ("exif1", "exif2", "exif3")
+        rng = random.Random(1)
+        job = subject.generate_input(rng)
+        assert "ifds" in job

@@ -1,0 +1,149 @@
+"""Tests for the RHYTHMBOX subject: the event loop and its two races."""
+
+import random
+
+import pytest
+
+from repro.simmem.errors import SimSegfault
+from repro.subjects import base
+from repro.subjects.rhythmbox import RhythmboxSubject, program
+from repro.subjects.rhythmbox.subject import generate_job
+
+
+def _run(script, heap_seed=1):
+    job = {"heap_seed": heap_seed, "script": script}
+    base.begin_truth_capture()
+    try:
+        out = program.main(job)
+        crashed = False
+    except Exception:
+        out = None
+        crashed = True
+    return out, crashed, base.end_truth_capture()
+
+
+class TestEventLoop:
+    def test_quiet_session_is_clean(self):
+        script = [(0, "add_view", 0), (5, "db_update", 3), (50, "quit", 0)]
+        out, crashed, bugs = _run(script)
+        assert not crashed and not bugs
+
+    def test_events_processed_in_time_order(self):
+        script = [(30, "db_update", 2), (10, "db_update", 1), (60, "quit", 0)]
+        out, crashed, _ = _run(script)
+        assert not crashed
+        assert out[1] == 2  # both signals emitted
+
+    def test_playback_ticks_accumulate(self):
+        script = [(0, "play", 1), (47, "stop", 0)]
+        out, crashed, bugs = _run(script)
+        assert not crashed and not bugs
+        # ticks at 5,10,...,45 => 9 ticks processed before the stop
+        assert out[0] > 9
+
+    def test_pause_and_volume_do_not_crash(self):
+        script = [
+            (0, "play", 1),
+            (7, "pause", 0),
+            (8, "volume", 130),
+            (9, "play", 2),
+            (60, "quit", 0),
+        ]
+        out, crashed, bugs = _run(script)
+        assert not crashed
+
+
+class TestRb1TimerRace:
+    def test_tick_landing_after_finalize_crashes(self):
+        """play at 0 ticks at 5,10,...; quit at 11 finalises at 14; the
+        tick at 15 dereferences the freed priv record."""
+        script = [(0, "play", 1), (11, "quit", 0)]
+        base.begin_truth_capture()
+        with pytest.raises(SimSegfault):
+            program.main({"heap_seed": 1, "script": script})
+        assert "rb1" in base.end_truth_capture()
+
+    def test_tick_landing_inside_gap_is_harmless(self):
+        """quit at 13 finalises at 16; the pending tick at 15 lands in
+        the gap, early-outs on the cleared flag, and nothing crashes."""
+        script = [(0, "play", 1), (13, "quit", 0)]
+        out, crashed, bugs = _run(script)
+        assert not crashed
+        assert "rb1" not in bugs
+
+    def test_stopped_player_quit_is_safe(self):
+        script = [(0, "play", 1), (7, "stop", 0), (30, "quit", 0)]
+        out, crashed, bugs = _run(script)
+        assert not crashed and "rb1" not in bugs
+
+
+class TestRb2SignalRace:
+    def test_remove_during_queued_signal_then_update_crashes(self):
+        """db_update at 10 queues the view's signal (drain at 12);
+        removing the view at 11 takes the buggy path; the update at 20
+        walks into freed memory."""
+        script = [
+            (0, "add_view", 0),
+            (10, "db_update", 1),
+            (11, "remove_view", 0),
+            (20, "db_update", 1),
+        ]
+        base.begin_truth_capture()
+        with pytest.raises(SimSegfault):
+            program.main({"heap_seed": 1, "script": script})
+        assert "rb2" in base.end_truth_capture()
+
+    def test_remove_after_drain_is_safe(self):
+        script = [
+            (0, "add_view", 0),
+            (10, "db_update", 1),
+            (15, "remove_view", 0),  # drain happened at 12
+            (20, "db_update", 1),
+        ]
+        out, crashed, bugs = _run(script)
+        assert not crashed and "rb2" not in bugs
+
+    def test_rb2_without_subsequent_update_does_not_crash(self):
+        """The unsafe disposal happened, but nothing walked the handler
+        list afterwards: bug occurred, run succeeded."""
+        script = [
+            (0, "add_view", 0),
+            (10, "db_update", 1),
+            (11, "remove_view", 0),
+        ]
+        out, crashed, bugs = _run(script)
+        assert not crashed
+        assert "rb2" in bugs
+
+
+class TestGenerator:
+    def test_sessions_terminate(self):
+        rng = random.Random(31)
+        for _ in range(100):
+            job = generate_job(rng)
+            base.begin_truth_capture()
+            try:
+                out = program.main(job)
+                assert out[0] < 10000  # the loop guard never saturates
+            except Exception:
+                pass
+            base.end_truth_capture()
+
+    def test_both_bugs_reachable_from_generator(self):
+        rng = random.Random(37)
+        seen = set()
+        for _ in range(1500):
+            job = generate_job(rng)
+            base.begin_truth_capture()
+            try:
+                program.main(job)
+            except Exception:
+                pass
+            seen.update(base.end_truth_capture())
+            if seen == {"rb1", "rb2"}:
+                break
+        assert seen == {"rb1", "rb2"}
+
+    def test_subject_protocol(self):
+        subject = RhythmboxSubject()
+        assert subject.bug_ids == ("rb1", "rb2")
