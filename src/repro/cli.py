@@ -5,11 +5,22 @@ Examples::
     repro-cbi list
     repro-cbi run --subject moss --runs 2000 --sampling adaptive
     repro-cbi run --subject exif --runs 3000 --strategy 2 --top 8
+
+Large populations split collection from analysis: ``collect`` appends
+on-disk shards (written directly by worker processes) to a store
+directory, and ``analyze`` pointed at that directory scores it -- the
+pruning pass streams per-shard sufficient statistics, so it never holds
+more than one shard's matrices::
+
+    repro-cbi collect --subject moss --runs 5000 --out moss-store/
+    repro-cbi collect --subject moss --runs 5000 --out moss-store/  # appends
+    repro-cbi analyze moss-store/
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, Type
 
@@ -83,10 +94,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="save the collected feedback reports (+ ground truth) as .npz",
     )
 
-    analyze = sub.add_parser(
-        "analyze", help="re-analyse a saved feedback-report archive"
+    collect = sub.add_parser(
+        "collect",
+        help="collect feedback-report shards into a store directory",
     )
-    analyze.add_argument("archive", help="path written by `run --save`")
+    collect.add_argument("--subject", choices=sorted(SUBJECTS), required=True)
+    collect.add_argument(
+        "--out", metavar="DIR", required=True,
+        help="shard-store directory (created on first use, appended after)",
+    )
+    collect.add_argument("--runs", type=int, default=2000, help="number of trials")
+    collect.add_argument(
+        "--sampling",
+        choices=["uniform", "adaptive", "full"],
+        default="adaptive",
+        help="sampling regime (paper default: adaptive nonuniform)",
+    )
+    collect.add_argument("--rate", type=float, default=0.01, help="uniform sampling rate")
+    collect.add_argument(
+        "--training-runs", type=int, default=200, help="adaptive training set size"
+    )
+    collect.add_argument(
+        "--seed", type=int, default=None,
+        help="base trial seed; defaults to the store's next free seed, so "
+        "repeated collect sessions extend the population contiguously",
+    )
+    collect.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes; each writes its shards directly to disk",
+    )
+    collect.add_argument(
+        "--chunk-size", type=int, default=200, help="trials per shard"
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="re-analyse a saved feedback-report archive or a shard store",
+    )
+    analyze.add_argument(
+        "archive",
+        help="archive written by `run --save`, or a directory written by `collect`",
+    )
     analyze.add_argument("--top", type=int, default=15)
     analyze.add_argument(
         "--strategy", type=int, choices=[1, 2, 3], default=1,
@@ -95,6 +143,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--method", choices=["interval", "ztest"], default="interval",
         help="pruning filter (Section 3.1 interval or Section 3.2 z-test)",
+    )
+    analyze.add_argument(
+        "--stats-only", action="store_true",
+        help="shard stores only: rank by streaming sufficient statistics "
+        "without materialising the population (skips elimination)",
     )
     return parser
 
@@ -110,7 +163,12 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "analyze":
+        if os.path.isdir(args.archive):
+            return _analyze_store(args)
         return _analyze(args)
+
+    if args.command == "collect":
+        return _collect(args)
 
     subject = SUBJECTS[args.subject]()
     config = Experiment(
@@ -150,6 +208,111 @@ def main(argv=None) -> int:
 
         save_reports(args.save, result.reports, result.truth)
         print(f"saved feedback reports to {args.save}", file=sys.stderr)
+    return 0
+
+
+def _collect(args) -> int:
+    """Append shards for a subject to a store directory."""
+    from repro.harness.experiment import build_plan
+    from repro.harness.parallel import run_trials_sharded
+    from repro.instrument.tracer import instrument_source
+    from repro.store import ShardStore
+
+    subject = SUBJECTS[args.subject]()
+    program = instrument_source(subject.source(), subject.name)
+    plan = build_plan(
+        subject,
+        program,
+        args.sampling,
+        rate=args.rate,
+        training_runs=args.training_runs,
+        seed=args.seed if args.seed is not None else 0,
+    )
+    seed = args.seed
+    if seed is None:
+        try:
+            seed = ShardStore.open(args.out).next_seed
+        except FileNotFoundError:
+            seed = 0
+    print(
+        f"collecting {args.runs} trials of {args.subject} into {args.out} "
+        f"(seeds {seed}..{seed + args.runs - 1}, {args.sampling} sampling)...",
+        file=sys.stderr,
+    )
+    store = run_trials_sharded(
+        subject,
+        args.runs,
+        plan,
+        args.out,
+        seed=seed,
+        jobs=args.jobs,
+        chunk_size=args.chunk_size,
+    )
+    print(
+        f"store now holds {store.n_shards} shards, {store.n_runs} runs "
+        f"({store.num_failing} failing)"
+    )
+    return 0
+
+
+def _analyze_store(args) -> int:
+    """Analyse a shard store: streaming pruning, then (optionally) elimination."""
+    from repro.core.elimination import eliminate
+    from repro.core.pruning import prune_predicates
+    from repro.store import ShardStore
+
+    store = ShardStore.open(args.archive)
+    print(
+        f"opened shard store: {store.n_shards} shards, {store.n_runs} runs "
+        f"({store.num_failing} failing), subject {store.manifest.subject}",
+        file=sys.stderr,
+    )
+    # Pruning needs only the sufficient statistics, accumulated shard by
+    # shard -- no run matrix is ever materialised for this step.
+    scores = store.compute_scores()
+    pruning = prune_predicates(scores=scores, method=args.method)
+    print(
+        f"pruning kept {pruning.n_kept}/{pruning.n_initial} predicates "
+        "(scored incrementally)"
+    )
+
+    if args.stats_only:
+        from repro.core.importance import importance_scores
+
+        table = store.table()
+        imp = importance_scores(scores)
+        order = sorted(
+            pruning.kept_indices.tolist(),
+            key=lambda i: imp.importance[i],
+            reverse=True,
+        )[: args.top]
+        print(f"{'Importance':>10}  {'Increase':>8}  {'F':>6}  {'S':>6}  predicate")
+        for i in order:
+            print(
+                f"{imp.importance[i]:>10.3f}  {scores.increase[i]:>8.3f}  "
+                f"{int(scores.F[i]):>6}  {int(scores.S[i]):>6}  "
+                f"{table.predicates[i].name}"
+            )
+        return 0
+
+    # Elimination simulates discarding runs, which needs run-level data;
+    # materialise the merged population (bit-identical to monolithic).
+    reports, truth = store.load_merged()
+    elimination = eliminate(
+        reports,
+        candidates=pruning.kept,
+        strategy=DiscardStrategy(args.strategy),
+        max_predictors=args.top,
+    )
+    co = None
+    bug_ids = None
+    if truth is not None and truth.bug_ids:
+        bug_ids = list(truth.bug_ids)
+        co = cooccurrence_table(
+            reports, truth, [s.predicate.index for s in elimination.selected]
+        )
+    print(f"elimination selected {len(elimination)}")
+    print(format_predictor_table(elimination, co, bug_ids=bug_ids))
     return 0
 
 

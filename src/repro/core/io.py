@@ -12,13 +12,31 @@ NumPy ``.npz`` archive:
   self-describing and can be analysed without re-instrumenting.
 
 Round-tripping is exact: ``load_reports(save_reports(r)) == r`` in all
-analysed quantities (a property test asserts score equality).
+analysed quantities (a property test asserts score equality), and per-run
+metadata must be JSON-clean -- :func:`save_reports` raises on values that
+would come back as a different type (see :func:`validate_metas`).
+
+Format version 2 (the shard format of :mod:`repro.store`) extends the
+version 1 layout with:
+
+* ``table_sha`` -- the predicate table's content signature, so shards of
+  one population can be checked for instrumentation compatibility before
+  merging;
+* ``stats_*`` -- the per-predicate sufficient statistics (``F``, ``S``,
+  ``F_obs``, ``S_obs``) and population totals (``NumF``, ``NumS``), so a
+  shard can be *scored* by reading six small arrays without rebuilding
+  its run-by-predicate matrices;
+* strict (validated) per-run metadata, where version 1 silently
+  stringified non-JSON values via ``json.dumps(default=str)``.
+
+Version 1 archives remain loadable: :func:`load_reports` accepts both
+layouts and ``tests/core/test_io.py`` pins the compatibility.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -28,7 +46,13 @@ from repro.core.reports import ReportSet
 from repro.core.truth import GroundTruth
 
 #: Archive format version, bumped on incompatible layout changes.
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: All versions :func:`load_reports` can read.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: JSON-representable scalar types that survive a round trip unchanged.
+_JSON_SCALARS = (str, int, float, bool, type(None))
 
 
 def _table_to_json(table: PredicateTable) -> str:
@@ -87,6 +111,48 @@ def _csr_from_parts(archive, prefix: str) -> sparse.csr_matrix:
     )
 
 
+def _check_json_clean(value: object, where: str) -> None:
+    if isinstance(value, _JSON_SCALARS):
+        return
+    if isinstance(value, list):
+        for i, item in enumerate(value):
+            _check_json_clean(item, f"{where}[{i}]")
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValueError(
+                    f"report meta {where} has non-string key {key!r} "
+                    f"({type(key).__name__}); JSON would turn it into a "
+                    "string and break exact round-tripping"
+                )
+            _check_json_clean(item, f"{where}[{key!r}]")
+        return
+    raise ValueError(
+        f"report meta {where} has non-JSON value {value!r} "
+        f"({type(value).__name__}); convert it to str/int/float/bool/None/"
+        "list/dict before saving so load_reports returns exactly what was "
+        "saved"
+    )
+
+
+def validate_metas(metas: List[Dict[str, object]]) -> None:
+    """Check per-run metadata survives a JSON round trip *exactly*.
+
+    ``json.dumps(..., default=str)`` would silently stringify anything,
+    so a run tagged ``seed=np.int64(7)`` or ``path=Path(...)`` would load
+    back as a different type, violating this module's round-tripping
+    contract.  Only ``str``/``int``/``float``/``bool``/``None`` scalars,
+    lists of them, and string-keyed dicts are accepted; tuples are
+    rejected too (JSON would return lists).
+
+    Raises:
+        ValueError: Naming the run index and key of the first offender.
+    """
+    for run, meta in enumerate(metas):
+        _check_json_clean(meta, f"run {run}")
+
+
 def save_reports(
     path: str,
     reports: ReportSet,
@@ -94,14 +160,32 @@ def save_reports(
 ) -> None:
     """Write a report set (and optional ground truth) to ``path``.
 
+    Writes the current (version 2) layout; see the module docstring for
+    what it adds over version 1.
+
     Args:
         path: Destination filename (conventionally ``.npz``).
         reports: The report population.
         truth: Optional run-aligned ground truth.
+
+    Raises:
+        ValueError: When a per-run meta is not JSON-clean
+            (see :func:`validate_metas`).
     """
+    from repro.core.scores import sufficient_counts
+
+    validate_metas(reports.metas)
+    F, S, F_obs, S_obs, num_failing, num_successful = sufficient_counts(reports)
     payload: Dict[str, np.ndarray] = {
         "format_version": np.asarray([FORMAT_VERSION]),
         "failed": reports.failed,
+        "table_sha": np.asarray(reports.table.signature()),
+        "stats_F": F,
+        "stats_S": S,
+        "stats_F_obs": F_obs,
+        "stats_S_obs": S_obs,
+        "stats_num_failing": np.asarray([num_failing], dtype=np.int64),
+        "stats_num_successful": np.asarray([num_successful], dtype=np.int64),
     }
     payload.update(_csr_parts(reports.site_counts, "sites"))
     payload.update(_csr_parts(reports.true_counts, "preds"))
@@ -109,7 +193,7 @@ def save_reports(
     payload["stacks_json"] = np.asarray(
         json.dumps([list(s) if s is not None else None for s in reports.stacks])
     )
-    payload["metas_json"] = np.asarray(json.dumps(reports.metas, default=str))
+    payload["metas_json"] = np.asarray(json.dumps(reports.metas))
     if truth is not None:
         truth._check_aligned(reports)
         payload["truth_bugs_json"] = np.asarray(json.dumps(list(truth.bug_ids)))
@@ -120,20 +204,29 @@ def save_reports(
         np.savez_compressed(handle, **payload)
 
 
+def _check_version(archive) -> int:
+    version = int(archive["format_version"][0])
+    if version not in SUPPORTED_VERSIONS:
+        raise ValueError(
+            f"unsupported report archive version {version} "
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
+        )
+    return version
+
+
 def load_reports(path: str) -> Tuple[ReportSet, Optional[GroundTruth]]:
     """Read a report set written by :func:`save_reports`.
+
+    Accepts both the current version 2 layout and legacy version 1
+    archives (whose metas may contain stringified values -- version 1
+    wrote them with ``default=str``).
 
     Returns:
         ``(reports, truth)``; ``truth`` is ``None`` when the archive was
         written without ground truth.
     """
     with np.load(path, allow_pickle=False) as archive:
-        version = int(archive["format_version"][0])
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported report archive version {version} "
-                f"(expected {FORMAT_VERSION})"
-            )
+        _check_version(archive)
         table = _table_from_json(str(archive["table_json"]))
         stacks_raw = json.loads(str(archive["stacks_json"]))
         stacks = [tuple(s) if s is not None else None for s in stacks_raw]
@@ -152,3 +245,38 @@ def load_reports(path: str) -> Tuple[ReportSet, Optional[GroundTruth]]:
             for bugs in json.loads(str(archive["truth_runs_json"])):
                 truth.add_run(bugs)
     return reports, truth
+
+
+def load_shard_stats(
+    path: str,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int, Optional[str]]:
+    """Read only the sufficient statistics from an archive.
+
+    For version 2 archives this touches six small dense arrays and never
+    reconstructs the run-by-predicate matrices, which is what keeps
+    incremental scoring over a shard directory memory-bounded.  Version 1
+    archives lack the embedded statistics, so they are derived by loading
+    the shard's matrices (one shard at a time -- still bounded by the
+    largest single shard).
+
+    Returns:
+        ``(F, S, F_obs, S_obs, num_failing, num_successful, table_sha)``;
+        ``table_sha`` is ``None`` for version 1 archives.
+    """
+    with np.load(path, allow_pickle=False) as archive:
+        version = _check_version(archive)
+        if version >= 2:
+            return (
+                np.asarray(archive["stats_F"], dtype=np.int64),
+                np.asarray(archive["stats_S"], dtype=np.int64),
+                np.asarray(archive["stats_F_obs"], dtype=np.int64),
+                np.asarray(archive["stats_S_obs"], dtype=np.int64),
+                int(archive["stats_num_failing"][0]),
+                int(archive["stats_num_successful"][0]),
+                str(archive["table_sha"]),
+            )
+    from repro.core.scores import sufficient_counts
+
+    reports, _ = load_reports(path)
+    F, S, F_obs, S_obs, num_failing, num_successful = sufficient_counts(reports)
+    return F, S, F_obs, S_obs, num_failing, num_successful, None

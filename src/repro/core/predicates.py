@@ -303,6 +303,31 @@ class PredicateTable:
         """Return predicates whose name contains ``name_fragment``."""
         return [p for p in self.predicates if name_fragment in p.name]
 
+    def signature(self) -> str:
+        """Return a stable content hash of the site/predicate layout.
+
+        Two tables with the same signature assign identical meaning to
+        every column index, so report sets carrying them can be merged.
+        Shard manifests and archives store the signature to detect mixing
+        reports from different instrumentations (or different subject
+        versions), which would silently mis-attribute counters.
+        """
+        import hashlib
+        import json as _json
+
+        spec = [
+            (
+                s.scheme.value,
+                s.function,
+                s.line,
+                s.description,
+                [self.predicates[i].name for i in self._site_preds[s.index]],
+            )
+            for s in self.sites
+        ]
+        blob = _json.dumps(spec, separators=(",", ":"), sort_keys=True)
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     def __len__(self) -> int:
         return len(self.predicates)
 

@@ -58,7 +58,7 @@ class PruningResult:
 
 
 def prune_predicates(
-    reports: ReportSet,
+    reports: Optional[ReportSet] = None,
     confidence: float = DEFAULT_CONFIDENCE,
     scores: Optional[PredicateScores] = None,
     min_true_runs: int = 1,
@@ -79,7 +79,10 @@ def prune_predicates(
     size.
 
     Args:
-        reports: The feedback-report population.
+        reports: The feedback-report population.  May be ``None`` when
+            ``scores`` is supplied -- the filter is a pure function of the
+            scores, which lets shard stores prune from incrementally
+            accumulated statistics without materialising any matrix.
         confidence: Confidence level (paper: 0.95).
         scores: Optional precomputed scores for the same population.
         min_true_runs: Additionally require at least this many runs with
@@ -91,14 +94,19 @@ def prune_predicates(
         A :class:`PruningResult`.
     """
     if scores is None:
+        if reports is None:
+            raise ValueError("prune_predicates needs reports or precomputed scores")
         scores = compute_scores(reports, confidence=confidence)
     if method == "interval":
         positive = scores.increase_lo > 0.0
     elif method == "ztest":
-        from scipy import stats
+        from repro.core.scores import z_test_pvalues
 
-        critical = float(stats.norm.ppf(confidence))  # one-sided
-        positive = (scores.z > critical) & (scores.increase > 0.0)
+        # p < alpha <=> z > critical for defined rows; undefined rows now
+        # carry p = 1.0, so they can never pass the filter even without
+        # the explicit `defined` mask below.
+        pvalues = z_test_pvalues(scores)
+        positive = (pvalues < 1.0 - confidence) & (scores.increase > 0.0)
     else:
         raise ValueError(f"unknown pruning method {method!r}")
     kept = scores.defined & positive & (scores.F + scores.S >= min_true_runs)

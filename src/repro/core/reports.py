@@ -238,6 +238,63 @@ class ReportSet:
         )
 
     # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge(cls, parts: Sequence["ReportSet"]) -> "ReportSet":
+        """Concatenate report sets collected against the same table.
+
+        Runs keep their relative order (all of ``parts[0]`` first, then
+        ``parts[1]``, ...), so merging the shards of a population in
+        collection order reproduces the monolithic population exactly:
+        every per-run row is preserved, and all scoring statistics --
+        which are sums over runs -- are bit-identical to scoring one big
+        set (``tests/store/test_store.py`` asserts exact integer equality
+        of ``F``/``S``/``F_obs``/``S_obs``).
+
+        Args:
+            parts: One or more report sets whose tables have the same
+                :meth:`~repro.core.predicates.PredicateTable.signature`.
+
+        Raises:
+            ValueError: On an empty sequence or mismatched tables.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("cannot merge an empty sequence of report sets")
+        if len(parts) == 1:
+            first = parts[0]
+            return cls(
+                first.table,
+                first.failed,
+                first.site_counts,
+                first.true_counts,
+                list(first.stacks),
+                list(first.metas),
+            )
+        sig = parts[0].table.signature()
+        for i, part in enumerate(parts[1:], start=1):
+            if part.table.signature() != sig:
+                raise ValueError(
+                    f"report set {i} was collected against a different "
+                    "predicate table; refusing to merge mismatched "
+                    "instrumentations"
+                )
+        stacks: List[Optional[Tuple[str, ...]]] = []
+        metas: List[Dict[str, object]] = []
+        for part in parts:
+            stacks.extend(part.stacks)
+            metas.extend(part.metas)
+        return cls(
+            parts[0].table,
+            np.concatenate([p.failed for p in parts]),
+            sparse.vstack([p.site_counts for p in parts], format="csr"),
+            sparse.vstack([p.true_counts for p in parts], format="csr"),
+            stacks,
+            metas,
+        )
+
+    # ------------------------------------------------------------------
     # Coverage
     # ------------------------------------------------------------------
     def site_coverage(self) -> np.ndarray:

@@ -26,7 +26,7 @@ NaN, so downstream ranking code needs no NaN handling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 from scipy import sparse, stats
@@ -65,6 +65,8 @@ class PredicateScores:
         pf: ``pf(P) = F(P)/F(P obs)`` (0 where undefined).
         ps: ``ps(P) = S(P)/S(P obs)`` (0 where undefined).
         z: Two-proportion ``Z`` statistic of Section 3.2 (0 where undefined).
+        z_defined: Boolean mask of predicates whose ``z`` is well defined
+            (site observed in both outcomes, pooled variance positive).
         defined: Boolean mask of well-defined predicates.
         num_failing: ``NumF`` for the population scored.
         num_successful: Number of successful runs in the population.
@@ -84,6 +86,7 @@ class PredicateScores:
     pf: np.ndarray
     ps: np.ndarray
     z: np.ndarray
+    z_defined: np.ndarray
     defined: np.ndarray
     num_failing: int
     num_successful: int
@@ -150,21 +153,22 @@ def _column_sums(bool_matrix: sparse.spmatrix, row_mask: np.ndarray) -> np.ndarr
     return np.asarray(sub.sum(axis=0), dtype=np.int64).ravel()
 
 
-def compute_scores(
+def sufficient_counts(
     reports: ReportSet,
     run_mask: Optional[np.ndarray] = None,
-    confidence: float = DEFAULT_CONFIDENCE,
-) -> PredicateScores:
-    """Compute all Section 3.1-3.2 scores for every predicate.
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Extract the per-predicate sufficient statistics of Section 3.1.
 
-    Args:
-        reports: The feedback-report population.
-        run_mask: Optional boolean mask restricting the population (used by
-            the elimination loop to rescore after discarding runs).
-        confidence: Confidence level for the ``Increase`` interval.
+    Everything :func:`compute_scores` reports is a function of six
+    quantities -- ``F(P)``, ``S(P)``, ``F(P obs)``, ``S(P obs)`` per
+    predicate plus the population totals ``NumF``/``NumS`` -- so these are
+    *sufficient statistics* for the scoring pass.  They are integer counts
+    and therefore add exactly across disjoint run populations, which is
+    what makes shard-by-shard incremental scoring
+    (:mod:`repro.store.incremental`) bit-identical to the monolithic path.
 
     Returns:
-        A :class:`PredicateScores` with one entry per predicate.
+        ``(F, S, F_obs, S_obs, num_failing, num_successful)``.
     """
     if run_mask is None:
         run_mask = np.ones(reports.n_runs, dtype=bool)
@@ -183,6 +187,54 @@ def compute_scores(
     S_obs_site = _column_sums(site_bool, succ_rows)
     F_obs = F_obs_site[reports.pred_site]
     S_obs = S_obs_site[reports.pred_site]
+    return F, S, F_obs, S_obs, int(fail_rows.sum()), int(succ_rows.sum())
+
+
+def compute_scores(
+    reports: ReportSet,
+    run_mask: Optional[np.ndarray] = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> PredicateScores:
+    """Compute all Section 3.1-3.2 scores for every predicate.
+
+    Args:
+        reports: The feedback-report population.
+        run_mask: Optional boolean mask restricting the population (used by
+            the elimination loop to rescore after discarding runs).
+        confidence: Confidence level for the ``Increase`` interval.
+
+    Returns:
+        A :class:`PredicateScores` with one entry per predicate.
+    """
+    F, S, F_obs, S_obs, num_failing, num_successful = sufficient_counts(
+        reports, run_mask
+    )
+    return scores_from_counts(
+        F, S, F_obs, S_obs, num_failing, num_successful, confidence=confidence
+    )
+
+
+def scores_from_counts(
+    F: np.ndarray,
+    S: np.ndarray,
+    F_obs: np.ndarray,
+    S_obs: np.ndarray,
+    num_failing: int,
+    num_successful: int,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> PredicateScores:
+    """Compute :class:`PredicateScores` from sufficient statistics alone.
+
+    This is the arithmetic half of :func:`compute_scores`; it never sees
+    the run-by-predicate matrices, so it can score populations accumulated
+    shard by shard (:class:`repro.store.incremental.SufficientStats`)
+    without materialising them.  ``compute_scores`` delegates here, which
+    guarantees the incremental and monolithic paths share every formula.
+    """
+    F = np.asarray(F, dtype=np.int64)
+    S = np.asarray(S, dtype=np.int64)
+    F_obs = np.asarray(F_obs, dtype=np.int64)
+    S_obs = np.asarray(S_obs, dtype=np.int64)
 
     n_true = F + S
     n_obs = F_obs + S_obs
@@ -221,8 +273,9 @@ def compute_scores(
             * (1.0 - p_pool)
             * (1.0 / np.maximum(F_obs, 1) + 1.0 / np.maximum(S_obs, 1))
         )
+        z_defined = (F_obs > 0) & (S_obs > 0) & (z_var > 0)
         z = np.where(
-            (F_obs > 0) & (S_obs > 0) & (z_var > 0),
+            z_defined,
             (pf - ps) / np.sqrt(np.maximum(z_var, 1e-300)),
             0.0,
         )
@@ -246,9 +299,10 @@ def compute_scores(
         pf=pf,
         ps=ps,
         z=z,
+        z_defined=z_defined,
         defined=defined,
-        num_failing=int(fail_rows.sum()),
-        num_successful=int(succ_rows.sum()),
+        num_failing=int(num_failing),
+        num_successful=int(num_successful),
         confidence=confidence,
     )
 
@@ -258,5 +312,12 @@ def z_test_pvalues(scores: PredicateScores) -> np.ndarray:
 
     Under ``H0: pf = ps`` the statistic is approximately standard normal
     for large samples, so the p-value is the upper normal tail of ``z``.
+
+    Where ``z`` is undefined (the site was never observed in failing or
+    successful runs, or the pooled variance is zero) there is no evidence
+    against ``H0`` at all, so the p-value is 1.0 -- *not* ``sf(0) = 0.5``,
+    which would let never-observed predicates masquerade as weak evidence
+    in callers that forget to apply the ``defined`` mask.
     """
-    return stats.norm.sf(scores.z)
+    p = stats.norm.sf(scores.z)
+    return np.where(scores.z_defined, p, 1.0)

@@ -80,6 +80,28 @@ class GroundTruth:
         sub.occurrences = [self.occurrences[i] for i in idx]
         return sub
 
+    @classmethod
+    def merge(cls, parts: Sequence["GroundTruth"]) -> "GroundTruth":
+        """Concatenate per-shard truth records, preserving run order.
+
+        The counterpart of :meth:`repro.core.reports.ReportSet.merge`;
+        all parts must agree on the bug-id universe.
+        """
+        parts = list(parts)
+        if not parts:
+            raise ValueError("cannot merge an empty sequence of truth records")
+        bug_ids = list(parts[0].bug_ids)
+        for i, part in enumerate(parts[1:], start=1):
+            if list(part.bug_ids) != bug_ids:
+                raise ValueError(
+                    f"truth record {i} has bug ids {part.bug_ids} but the "
+                    f"first shard declared {bug_ids}"
+                )
+        merged = cls(bug_ids=bug_ids)
+        for part in parts:
+            merged.occurrences.extend(part.occurrences)
+        return merged
+
 
 def cooccurrence_table(
     reports: ReportSet,

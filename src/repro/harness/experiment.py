@@ -20,8 +20,6 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from repro.core.elimination import DiscardStrategy, EliminationResult, eliminate
 from repro.core.pruning import PruningResult, prune_predicates
 from repro.core.reports import ReportSet
@@ -55,6 +53,12 @@ class Experiment:
         jobs: Worker processes for trial collection (1 = in-process
             serial; >1 uses :mod:`repro.harness.parallel`, which is
             bit-identical to serial for the same seed).
+        shard_dir: When set, trials are collected as on-disk shards
+            written directly by the workers
+            (:func:`repro.harness.parallel.run_trials_sharded`), then the
+            merged population -- bit-identical to the other collection
+            modes -- feeds the analysis.  The shard store remains on disk
+            for later ``repro-cbi analyze`` sessions.
     """
 
     subject: Subject
@@ -68,6 +72,7 @@ class Experiment:
     max_predictors: Optional[int] = 30
     instrumentation: Optional[InstrumentationConfig] = None
     jobs: int = 1
+    shard_dir: Optional[str] = None
 
 
 @dataclass
@@ -146,7 +151,22 @@ def run_experiment(config: Experiment) -> ExperimentResult:
         training_runs=config.training_runs,
         seed=config.seed,
     )
-    if config.jobs > 1:
+    if config.shard_dir is not None:
+        from repro.harness.parallel import run_trials_sharded
+
+        store = run_trials_sharded(
+            config.subject,
+            config.n_runs,
+            plan,
+            config.shard_dir,
+            seed=config.seed,
+            jobs=config.jobs,
+            config=config.instrumentation,
+        )
+        reports, truth = store.load_merged()
+        if truth is None:  # pragma: no cover - shards always carry truth here
+            truth = GroundTruth(bug_ids=list(config.subject.bug_ids))
+    elif config.jobs > 1:
         from repro.harness.parallel import run_trials_parallel
 
         reports, truth = run_trials_parallel(

@@ -4,15 +4,28 @@ Trials are independent by construction (each derives its input and
 sampler state from ``seed + i``), so populations can be collected on all
 cores.  Each worker process instruments its own copy of the subject --
 the transform is deterministic, so site and predicate indices agree
-across processes -- and streams back plain-tuple run records that the
-parent merges in seed order.  The result is bit-identical to the serial
-:func:`repro.harness.runner.run_trials` for the same arguments, which
-``tests/harness/test_parallel.py`` asserts.
+across processes.
+
+Two collection modes are provided:
+
+* :func:`run_trials_parallel` streams plain-tuple run records back
+  through the parent, which merges them in seed order into one in-memory
+  :class:`~repro.core.reports.ReportSet` -- bit-identical to the serial
+  :func:`repro.harness.runner.run_trials` for the same arguments, which
+  ``tests/harness/test_parallel.py`` asserts.
+* :func:`run_trials_sharded` has each worker write its chunk *directly
+  to disk* as a format-v2 shard (:mod:`repro.store`); only shard
+  membership records (a filename and two counts per chunk) return to the
+  parent.  This removes the parent-merge bottleneck and bounds parent
+  memory independently of ``n_runs``, which is the collection story for
+  populations far larger than one process can hold.  Merging the shards
+  in seed order reproduces the streamed population exactly.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import random
 from typing import Dict, List, Optional, Tuple
 
@@ -112,3 +125,112 @@ def run_trials_parallel(
                 truth.add_run(bugs)
 
     return builder.build(), truth
+
+
+def _run_chunk_to_shard(args: Tuple[int, int, SamplingPlan, str]) -> Tuple[str, int, int, int]:
+    """Worker task: run one chunk and persist it as a shard archive.
+
+    Returns ``(filename, n_runs, num_failing, seed_start)`` -- the only
+    data crossing back to the parent.
+    """
+    from repro.core.io import save_reports
+
+    start, count, plan, shard_path = args
+    subject: Subject = _WORKER["subject"]  # type: ignore[assignment]
+    program = _WORKER["program"]
+
+    builder = ReportBuilder(program.table)  # type: ignore[attr-defined]
+    truth = GroundTruth(bug_ids=list(subject.bug_ids))
+    for run_seed, failed, site_obs, pred_true, stack, bugs in _run_chunk(
+        (start, count, plan)
+    ):
+        builder.add_run(failed, site_obs, pred_true, stack=stack, seed=run_seed)
+        truth.add_run(bugs)
+    reports = builder.build()
+    save_reports(shard_path, reports, truth)
+    return os.path.basename(shard_path), reports.n_runs, reports.num_failing, start
+
+
+def run_trials_sharded(
+    subject: Subject,
+    n_runs: int,
+    plan: SamplingPlan,
+    store_dir: str,
+    seed: int = 0,
+    jobs: int = 2,
+    config: Optional[InstrumentationConfig] = None,
+    chunk_size: int = 200,
+):
+    """Collect a population as on-disk shards written directly by workers.
+
+    Unlike :func:`run_trials_parallel`, no run record ever crosses back
+    to the parent: each worker builds its chunk's
+    :class:`~repro.core.reports.ReportSet` locally and writes it as a
+    format-v2 shard into ``store_dir``.  The parent only instruments once
+    (for the predicate table in the manifest) and registers shard
+    membership, so its memory use is independent of ``n_runs``.
+
+    The trial seeding is identical to the serial and streaming runners,
+    so ``ShardStore.load_merged()`` on the result is bit-identical to
+    :func:`repro.harness.runner.run_trials` with the same arguments.
+
+    Args:
+        subject: The subject program.
+        n_runs: Total trials.
+        plan: Sampling plan (shared by every trial).
+        store_dir: Shard-store directory; created on first use, appended
+            to otherwise (the instrumentation must match).
+        seed: Base seed; trial ``i`` uses ``seed + i``.
+        jobs: Worker process count.
+        config: Instrumentation configuration.
+        chunk_size: Trials per shard.
+
+    Returns:
+        The :class:`repro.store.ShardStore` holding the new shards.
+    """
+    from repro.store import ShardStore
+    from repro.store.shards import shard_filename
+
+    program = instrument_source(subject.source(), subject.name, config=config)
+    store = ShardStore.open_or_create(
+        store_dir, subject.name, program.table, plan, config=config
+    )
+
+    chunks = [
+        (
+            seed + start,
+            min(chunk_size, n_runs - start),
+            plan,
+            os.path.join(store_dir, shard_filename(seed + start)),
+        )
+        for start in range(0, n_runs, chunk_size)
+    ]
+    for _, _, _, shard_path in chunks:
+        if os.path.exists(shard_path):
+            raise FileExistsError(
+                f"shard {os.path.basename(shard_path)} already exists in "
+                f"{store_dir}; choose a disjoint seed range (next free seed: "
+                f"{store.next_seed})"
+            )
+
+    from repro.store.manifest import ShardEntry
+
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(
+        processes=max(jobs, 1),
+        initializer=_init_worker,
+        initargs=(subject, config),
+    ) as pool:
+        for filename, count, failing, start in pool.imap(
+            _run_chunk_to_shard, chunks
+        ):
+            store.register_shard(
+                ShardEntry(
+                    filename=filename,
+                    n_runs=count,
+                    num_failing=failing,
+                    seed_start=start,
+                )
+            )
+
+    return store

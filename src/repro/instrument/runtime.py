@@ -35,6 +35,18 @@ UNBOUND = object()
 _NUMERIC = (int, float)
 
 
+def _is_scalar(value) -> bool:
+    """True for the scalar values the paper's C schemes observe.
+
+    ``bool`` is excluded explicitly: ``isinstance(True, int)`` holds in
+    Python, but the C ``returns``/``scalar-pairs`` schemes only cover
+    scalar-returning call sites, and Python truth values would otherwise
+    flood those schemes with observations that have no C analogue
+    (branch outcomes are already covered by the ``branches`` scheme).
+    """
+    return isinstance(value, _NUMERIC) and not isinstance(value, bool)
+
+
 class Runtime:
     """Per-program instrumentation runtime shared across runs.
 
@@ -148,10 +160,11 @@ class Runtime:
     def ret(self, site: int, value):
         """Record a call's scalar return sign; returns ``value`` unchanged.
 
-        Non-scalar values leave the site unobserved, mirroring the C
+        Non-scalar values -- including ``bool``, which is not a scalar in
+        the paper's sense -- leave the site unobserved, mirroring the C
         scheme's restriction to scalar-returning call sites.
         """
-        if isinstance(value, _NUMERIC) and self._take(site):
+        if _is_scalar(value) and self._take(site):
             self._site_obs[site] += 1
             b = self._base[site]
             t = self._true
@@ -173,15 +186,15 @@ class Runtime:
         """Record scalar-pair relations between ``x`` and each ``y``.
 
         Each ``(x, y)`` pair is its own instrumentation site, sampled
-        independently.  Non-numeric operands (including the
+        independently.  Non-numeric operands (including ``bool`` and the
         :data:`UNBOUND` sentinel) leave their site unobserved.
         """
-        if not isinstance(x, _NUMERIC):
+        if not _is_scalar(x):
             return
         take = self._take
         t = self._true
         for site, y in zip(sites, ys):
-            if isinstance(y, _NUMERIC) and take(site):
+            if _is_scalar(y) and take(site):
                 self._site_obs[site] += 1
                 b = self._base[site]
                 if x < y:

@@ -1,0 +1,41 @@
+"""Sharded feedback-report store.
+
+The paper's deployment collected feedback reports from user populations
+far too large for one process, so this package splits a population into
+*shards*: independently written ``.npz`` archives (format version 2 of
+:mod:`repro.core.io`) described by a JSON *manifest*.  Three properties
+make the split safe:
+
+1. **Merge exactness** -- :meth:`repro.core.reports.ReportSet.merge`
+   concatenates shards in collection order, reproducing the monolithic
+   population row for row.
+2. **Incremental scoring** -- all Section 3.1-3.2 scores are functions
+   of per-predicate integer counts (``F``, ``S``, ``F_obs``, ``S_obs``)
+   plus ``NumF``/``NumS``, which add exactly across disjoint shards
+   (:class:`~repro.store.incremental.SufficientStats`), so a shard
+   directory can be scored without materialising any run matrix.
+3. **Compatibility checking** -- every shard and the manifest carry the
+   predicate table's content signature, so shards from different
+   instrumentations can never be silently mixed.
+"""
+
+from repro.store.incremental import SufficientStats
+from repro.store.manifest import (
+    ShardEntry,
+    ShardManifest,
+    config_digest,
+    plan_from_json,
+    plan_to_json,
+)
+from repro.store.shards import MANIFEST_NAME, ShardStore
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ShardEntry",
+    "ShardManifest",
+    "ShardStore",
+    "SufficientStats",
+    "config_digest",
+    "plan_from_json",
+    "plan_to_json",
+]

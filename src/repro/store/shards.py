@@ -1,0 +1,317 @@
+"""The shard store: a directory of report shards plus a manifest.
+
+A :class:`ShardStore` wraps a directory laid out as::
+
+    store/
+      manifest.json           # ShardManifest: provenance + membership
+      shard-00000000.npz      # format-v2 report archives (core/io.py)
+      shard-00000200.npz
+      ...
+
+Shards are appended by collection sessions (possibly across machines --
+workers write shards directly, see
+:func:`repro.harness.parallel.run_trials_sharded`) and analysed either
+by streaming sufficient statistics (:meth:`ShardStore.sufficient_stats`,
+memory bounded by one predicate-length array set) or by materialising
+the merged population (:meth:`ShardStore.load_merged`) when run-level
+data is needed, e.g. for iterative elimination.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional, Tuple
+
+from repro.core.io import FORMAT_VERSION, load_reports, load_shard_stats, save_reports
+from repro.core.predicates import PredicateTable
+from repro.core.reports import ReportSet
+from repro.core.scores import DEFAULT_CONFIDENCE, PredicateScores
+from repro.core.truth import GroundTruth
+from repro.instrument.sampling import SamplingPlan
+from repro.instrument.transform import InstrumentationConfig
+from repro.store.incremental import SufficientStats
+from repro.store.manifest import (
+    ShardEntry,
+    ShardManifest,
+    config_digest,
+    plan_from_json,
+    plan_to_json,
+)
+
+#: Manifest filename inside a store directory.
+MANIFEST_NAME = "manifest.json"
+
+
+def shard_filename(seed_start: int) -> str:
+    """Canonical shard name for a collection chunk starting at a seed."""
+    return f"shard-{seed_start:08d}.npz"
+
+
+class ShardStore:
+    """A directory of feedback-report shards with a manifest.
+
+    Use :meth:`create` for a new store, :meth:`open` for an existing one,
+    or :meth:`open_or_create` for append-style collection sessions.
+    """
+
+    def __init__(self, directory: str, manifest: ShardManifest) -> None:
+        self.directory = directory
+        self.manifest = manifest
+        self._table: Optional[PredicateTable] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        subject: str,
+        table: PredicateTable,
+        plan: SamplingPlan,
+        config: Optional[InstrumentationConfig] = None,
+    ) -> "ShardStore":
+        """Initialise an empty store (directory may exist but not a manifest)."""
+        os.makedirs(directory, exist_ok=True)
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            raise FileExistsError(
+                f"{manifest_path} already exists; use ShardStore.open() to append"
+            )
+        manifest = ShardManifest(
+            subject=subject,
+            table_sha=table.signature(),
+            config_sha=config_digest(config),
+            plan=plan_to_json(plan),
+            format_version=FORMAT_VERSION,
+        )
+        store = cls(directory, manifest)
+        store._table = table
+        manifest.save(manifest_path)
+        return store
+
+    @classmethod
+    def open(cls, directory: str) -> "ShardStore":
+        """Open an existing store."""
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            raise FileNotFoundError(
+                f"no {MANIFEST_NAME} in {directory}; not a shard store"
+            )
+        return cls(directory, ShardManifest.load(manifest_path))
+
+    @classmethod
+    def open_or_create(
+        cls,
+        directory: str,
+        subject: str,
+        table: PredicateTable,
+        plan: SamplingPlan,
+        config: Optional[InstrumentationConfig] = None,
+    ) -> "ShardStore":
+        """Open ``directory`` for appending, creating it on first use.
+
+        When the store exists, the subject, instrumentation config and
+        predicate table must match what it was created with; the sampling
+        plan may differ between sessions (the analysis is sampling-agnostic)
+        but the manifest keeps the original.
+        """
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        if not os.path.exists(manifest_path):
+            return cls.create(directory, subject, table, plan, config=config)
+        store = cls.open(directory)
+        if store.manifest.subject != subject:
+            raise ValueError(
+                f"store holds subject {store.manifest.subject!r}, refusing to "
+                f"append {subject!r} reports"
+            )
+        if store.manifest.table_sha != table.signature():
+            raise ValueError(
+                "store was collected with a different predicate table "
+                "(instrumentation changed?); appending would mis-attribute "
+                "counters"
+            )
+        if store.manifest.config_sha != config_digest(config):
+            raise ValueError(
+                "store was collected with a different instrumentation "
+                "configuration; appending would mix incompatible predicates"
+            )
+        store._table = table
+        return store
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> str:
+        """Path of the manifest file."""
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards registered."""
+        return len(self.manifest.shards)
+
+    @property
+    def n_runs(self) -> int:
+        """Total runs across shards."""
+        return self.manifest.n_runs
+
+    @property
+    def num_failing(self) -> int:
+        """Total failing runs across shards."""
+        return self.manifest.num_failing
+
+    @property
+    def next_seed(self) -> int:
+        """First unused trial seed (for contiguous append sessions)."""
+        return self.manifest.next_seed
+
+    def plan(self) -> SamplingPlan:
+        """The sampling plan recorded at store creation."""
+        return plan_from_json(self.manifest.plan)
+
+    def shard_paths(self) -> List[str]:
+        """Absolute shard paths in collection (merge) order."""
+        return [os.path.join(self.directory, e.filename) for e in self.manifest.shards]
+
+    def table(self) -> PredicateTable:
+        """The predicate table, loaded lazily from the first shard."""
+        if self._table is None:
+            if not self.manifest.shards:
+                raise ValueError("empty store has no shards to read a table from")
+            reports, _ = load_reports(self.shard_paths()[0])
+            self._table = reports.table
+        return self._table
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append_shard(
+        self,
+        reports: ReportSet,
+        truth: Optional[GroundTruth] = None,
+        seed_start: Optional[int] = None,
+    ) -> str:
+        """Write one shard archive and register it in the manifest.
+
+        Args:
+            reports: The shard's report population; its table signature
+                must match the store's.
+            truth: Optional run-aligned ground truth, persisted alongside.
+            seed_start: Base seed of the shard's first trial, if the shard
+                comes from a seeded collection.
+
+        Returns:
+            The shard's absolute path.
+        """
+        if reports.table.signature() != self.manifest.table_sha:
+            raise ValueError(
+                "shard was collected against a different predicate table than "
+                "this store; refusing to append"
+            )
+        if seed_start is not None:
+            filename = shard_filename(seed_start)
+        else:
+            filename = f"shard-x{self.n_shards:06d}.npz"
+        path = os.path.join(self.directory, filename)
+        if os.path.exists(path):
+            raise FileExistsError(f"shard {filename} already exists in the store")
+        save_reports(path, reports, truth)
+        self.register_shard(
+            ShardEntry(
+                filename=filename,
+                n_runs=reports.n_runs,
+                num_failing=reports.num_failing,
+                seed_start=seed_start,
+            )
+        )
+        return path
+
+    def register_shard(self, entry: ShardEntry) -> None:
+        """Add a membership entry for a shard file already on disk.
+
+        Used by the parallel collector, whose workers write shard
+        archives directly; the parent only registers the entries (in
+        collection order) and rewrites the manifest.
+        """
+        if any(e.filename == entry.filename for e in self.manifest.shards):
+            raise ValueError(f"shard {entry.filename} is already registered")
+        self.manifest.shards.append(entry)
+        self.manifest.save(self.manifest_path)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def iter_reports(self) -> Iterator[Tuple[ReportSet, Optional[GroundTruth]]]:
+        """Yield ``(reports, truth)`` per shard, in collection order.
+
+        Peak memory is one shard at a time.
+        """
+        for path in self.shard_paths():
+            yield load_reports(path)
+
+    def load_merged(self) -> Tuple[ReportSet, Optional[GroundTruth]]:
+        """Materialise the whole population (all shards concatenated).
+
+        Row order equals collection order, so the result is bit-identical
+        to a monolithic collection with the same seeds.  Ground truth is
+        merged when *every* shard carries it; otherwise ``None``.
+        """
+        parts: List[ReportSet] = []
+        truths: List[Optional[GroundTruth]] = []
+        for reports, truth in self.iter_reports():
+            parts.append(reports)
+            truths.append(truth)
+        if not parts:
+            raise ValueError("cannot merge an empty shard store")
+        merged = ReportSet.merge(parts)
+        truth_out: Optional[GroundTruth] = None
+        if all(t is not None for t in truths):
+            truth_out = GroundTruth.merge([t for t in truths if t is not None])
+        return merged, truth_out
+
+    def sufficient_stats(self) -> SufficientStats:
+        """Accumulate scoring statistics across shards, streaming.
+
+        For format-v2 shards this reads only the six embedded statistic
+        arrays per shard -- the run-by-predicate matrices are never
+        reconstructed, so parent memory is bounded by one predicate-length
+        array set regardless of how many runs the store holds.
+        """
+        if not self.manifest.shards:
+            raise ValueError("cannot score an empty shard store")
+        total: Optional[SufficientStats] = None
+        for path in self.shard_paths():
+            F, S, F_obs, S_obs, num_failing, num_successful, table_sha = (
+                load_shard_stats(path)
+            )
+            if table_sha is not None and table_sha != self.manifest.table_sha:
+                raise ValueError(
+                    f"shard {os.path.basename(path)} carries table signature "
+                    f"{table_sha[:12]}..., manifest expects "
+                    f"{self.manifest.table_sha[:12]}..."
+                )
+            part = SufficientStats(
+                F=F,
+                S=S,
+                F_obs=F_obs,
+                S_obs=S_obs,
+                num_failing=num_failing,
+                num_successful=num_successful,
+            )
+            total = part if total is None else total.add(part)
+        assert total is not None
+        return total
+
+    def compute_scores(
+        self, confidence: float = DEFAULT_CONFIDENCE
+    ) -> PredicateScores:
+        """Score the whole store incrementally (see :mod:`repro.store.incremental`)."""
+        return self.sufficient_stats().to_scores(confidence=confidence)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardStore({self.directory!r}, subject={self.manifest.subject!r}, "
+            f"shards={self.n_shards}, runs={self.n_runs})"
+        )

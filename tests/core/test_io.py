@@ -99,3 +99,116 @@ class TestRoundTrip:
             _np.savez_compressed(fh, **data)
         with pytest.raises(ValueError):
             load_reports(str(path))
+
+
+def _downgrade_to_v1(path):
+    """Rewrite an archive in the version 1 layout (no stats, no table_sha)."""
+    data = dict(np.load(str(path), allow_pickle=False))
+    for key in list(data):
+        if key.startswith("stats_") or key == "table_sha":
+            del data[key]
+    data["format_version"] = np.asarray([1])
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **data)
+
+
+class TestFormatVersions:
+    def test_writer_emits_current_version(self, tmp_path):
+        from repro.core.io import FORMAT_VERSION
+
+        reports, _ = _population()
+        path = tmp_path / "reports.npz"
+        save_reports(str(path), reports)
+        with np.load(str(path), allow_pickle=False) as archive:
+            assert int(archive["format_version"][0]) == FORMAT_VERSION == 2
+            assert str(archive["table_sha"]) == reports.table.signature()
+
+    def test_v1_archive_still_loads(self, tmp_path):
+        """Compatibility guarantee: archives in the pre-shard layout keep
+        loading through the new reader."""
+        reports, truth = _population()
+        path = tmp_path / "reports.npz"
+        save_reports(str(path), reports, truth)
+        _downgrade_to_v1(path)
+
+        loaded, loaded_truth = load_reports(str(path))
+        assert loaded.failed.tolist() == reports.failed.tolist()
+        assert loaded.stacks == reports.stacks
+        assert loaded_truth is not None
+        assert loaded_truth.occurrences == truth.occurrences
+        before, after = compute_scores(reports), compute_scores(loaded)
+        np.testing.assert_array_equal(before.F, after.F)
+        np.testing.assert_array_equal(before.S, after.S)
+
+    def test_embedded_stats_match_recomputation(self, tmp_path):
+        from repro.core.io import load_shard_stats
+        from repro.core.scores import sufficient_counts
+
+        reports, _ = _population()
+        path = tmp_path / "reports.npz"
+        save_reports(str(path), reports)
+        F, S, F_obs, S_obs, numf, nums, _ = load_shard_stats(str(path))
+        eF, eS, eF_obs, eS_obs, enumf, enums = sufficient_counts(reports)
+        np.testing.assert_array_equal(F, eF)
+        np.testing.assert_array_equal(S, eS)
+        np.testing.assert_array_equal(F_obs, eF_obs)
+        np.testing.assert_array_equal(S_obs, eS_obs)
+        assert (numf, nums) == (enumf, enums)
+
+
+class TestMetaValidation:
+    def test_non_json_meta_rejected_with_clear_message(self, tmp_path):
+        """Regression: v1 silently stringified non-JSON metas via
+        ``default=str``, so e.g. a Path loaded back as a str.  The writer
+        must refuse instead."""
+        from pathlib import Path
+
+        from repro.core.reports import ReportBuilder
+        from tests.helpers import make_table
+
+        builder = ReportBuilder(make_table(2))
+        builder.add_run(True, {0: 1}, {0: 1}, seed=1, source=Path("/tmp/x"))
+        reports = builder.build()
+        with pytest.raises(ValueError, match=r"run 0.*'source'.*PosixPath"):
+            save_reports(str(tmp_path / "r.npz"), reports)
+
+    def test_tuple_meta_rejected(self, tmp_path):
+        """Tuples would come back as lists -- not an exact round trip."""
+        from repro.core.reports import ReportBuilder
+        from tests.helpers import make_table
+
+        builder = ReportBuilder(make_table(2))
+        builder.add_run(False, {0: 1}, {}, span=(3, 7))
+        reports = builder.build()
+        with pytest.raises(ValueError, match="tuple"):
+            save_reports(str(tmp_path / "r.npz"), reports)
+
+    def test_non_string_dict_key_rejected(self, tmp_path):
+        from repro.core.reports import ReportBuilder
+        from tests.helpers import make_table
+
+        builder = ReportBuilder(make_table(2))
+        builder.add_run(False, {0: 1}, {}, counts={1: "a"})
+        reports = builder.build()
+        with pytest.raises(ValueError, match="non-string key"):
+            save_reports(str(tmp_path / "r.npz"), reports)
+
+    def test_clean_nested_metas_round_trip_exactly(self, tmp_path):
+        from repro.core.reports import ReportBuilder
+        from tests.helpers import make_table
+
+        meta = {
+            "seed": 3,
+            "tags": ["a", "b"],
+            "nested": {"ratio": 0.5, "ok": True, "none": None},
+        }
+        builder = ReportBuilder(make_table(2))
+        builder.add_run(True, {0: 1}, {0: 1}, **meta)
+        reports = builder.build()
+        path = tmp_path / "r.npz"
+        save_reports(str(path), reports)
+        loaded, _ = load_reports(str(path))
+        assert loaded.metas == [meta]
+        # Types, not just values, survive the round trip.
+        assert type(loaded.metas[0]["seed"]) is int
+        assert type(loaded.metas[0]["nested"]["ratio"]) is float

@@ -129,6 +129,43 @@ class TestStatistics:
         p = z_test_pvalues(s)
         assert p[0] < 0.001
 
+    def test_z_pvalue_undefined_rows_never_significant(self):
+        """Regression: rows where the z statistic is undefined (a site
+        never observed in failing runs, never observed in successful
+        runs, or with zero pooled variance) used to get p = 0.5 from the
+        placeholder z = 0 -- significant at any alpha > 0.5.  They must
+        report p = 1.0 so no filter can keep them."""
+        reports = make_reports(
+            3,
+            [
+                # P0: observed only in failing runs -> S_obs == 0.
+                (True, {0}, {0}),
+                (True, {0}, {0}),
+                # P1: observed only in successful runs -> F_obs == 0.
+                (False, {1}, {1}),
+                # P2: observed in both outcomes, always true -> pooled
+                # variance is zero.
+                (True, {2}, {2}),
+                (False, {2}, {2}),
+            ],
+        )
+        s = compute_scores(reports)
+        assert not s.z_defined[:3].any()
+        np.testing.assert_array_equal(z_test_pvalues(s)[:3], 1.0)
+
+    def test_ztest_pruning_drops_undefined_rows(self):
+        from repro.core.pruning import prune_predicates
+
+        reports = make_reports(
+            2,
+            # P0 a genuine predictor; P1 seen only in failing runs
+            # (undefined z) -- it must not survive the z-test filter.
+            [(True, {0, 1}, {0, 1})] * 25 + [(False, set(), {0})] * 25,
+        )
+        result = prune_predicates(reports, method="ztest")
+        assert result.kept[0]
+        assert not result.kept[1]
+
     @settings(max_examples=60, deadline=None)
     @given(
         f_true=st.integers(0, 20),

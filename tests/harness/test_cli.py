@@ -93,3 +93,74 @@ class TestRunCommand:
         assert main(["analyze", str(archive), "--method", "ztest"]) == 0
         out = capsys.readouterr().out
         assert "elimination selected" in out
+
+
+class TestCollectCommand:
+    def _collect(self, store_dir, runs="90", seed=None):
+        argv = [
+            "collect", "--subject", "ccrypt", "--runs", runs,
+            "--sampling", "full", "--out", str(store_dir),
+            "--jobs", "2", "--chunk-size", "30",
+        ]
+        if seed is not None:
+            argv += ["--seed", seed]
+        return main(argv)
+
+    def test_collect_then_analyze_store(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert self._collect(store_dir) == 0
+        out = capsys.readouterr().out
+        assert "3 shards, 90 runs" in out
+        assert (store_dir / "manifest.json").exists()
+
+        assert main(["analyze", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "scored incrementally" in out
+        assert "predicate" in out
+
+    def test_collect_appends_across_sessions(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert self._collect(store_dir, runs="60") == 0
+        capsys.readouterr()
+        # Second session with no --seed continues at the next free seed.
+        assert self._collect(store_dir, runs="30") == 0
+        out = capsys.readouterr().out + capsys.readouterr().err
+        assert "90 runs" in out
+
+    def test_analyze_store_stats_only(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        self._collect(store_dir)
+        capsys.readouterr()
+        assert main(["analyze", str(store_dir), "--stats-only", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Importance" in out
+        assert "predicate" in out
+
+    def test_store_analysis_matches_archive_analysis(self, capsys, tmp_path):
+        """`collect` + `analyze DIR` finds the same top predictor as the
+        monolithic `run --save` + `analyze FILE` path at equal seeds."""
+        archive = tmp_path / "reports.npz"
+        main(
+            [
+                "run", "--subject", "ccrypt", "--runs", "90",
+                "--sampling", "full", "--training-runs", "0",
+                "--save", str(archive),
+            ]
+        )
+        capsys.readouterr()
+        main(["analyze", str(archive)])
+        mono_out = capsys.readouterr().out
+
+        store_dir = tmp_path / "store"
+        self._collect(store_dir, seed="0")
+        capsys.readouterr()
+        main(["analyze", str(store_dir)])
+        store_out = capsys.readouterr().out
+
+        def predictor_lines(text):
+            return [
+                line for line in text.splitlines()
+                if "is TRUE" in line or "is FALSE" in line
+            ]
+
+        assert predictor_lines(store_out) == predictor_lines(mono_out)

@@ -97,6 +97,27 @@ class TestConfiguration:
             p.name for p in serial.elimination.predicates
         ]
 
+    def test_shard_dir_matches_in_memory(self, tmp_path):
+        in_memory = run_experiment(
+            Experiment(
+                subject=TinySubject(), n_runs=200, sampling="full",
+                training_runs=0, seed=3,
+            )
+        )
+        sharded = run_experiment(
+            Experiment(
+                subject=TinySubject(), n_runs=200, sampling="full",
+                training_runs=0, seed=3, jobs=2,
+                shard_dir=str(tmp_path / "store"),
+            )
+        )
+        assert sharded.reports.failed.tolist() == in_memory.reports.failed.tolist()
+        assert [p.name for p in sharded.elimination.predicates] == [
+            p.name for p in in_memory.elimination.predicates
+        ]
+        # The store stays behind for later `analyze` sessions.
+        assert (tmp_path / "store" / "manifest.json").exists()
+
     def test_relabel_strategy_runs(self):
         result = run_experiment(
             Experiment(

@@ -1,14 +1,34 @@
-"""Tests for the parallel trial runner."""
+"""Tests for the parallel trial runner and the direct-to-disk shard writers."""
+
+import tracemalloc
 
 import numpy as np
 import pytest
 
-from repro.harness.parallel import run_trials_parallel
-from repro.harness.runner import run_trials
+from repro.harness.parallel import run_trials_parallel, run_trials_sharded
+from repro.harness.runner import collect_site_means, run_trials
 from repro.instrument.sampling import SamplingPlan
 from repro.instrument.tracer import instrument_source
 
 from tests.harness.test_runner import TinySubject
+
+
+def _adaptive_plan(subject, program):
+    """A genuine per-site (adaptive) plan trained on the subject."""
+    means = collect_site_means(subject, program, 20, seed=777)
+    # Force a mix of rates so the per-site countdowns actually differ.
+    rates = np.clip(np.where(means > 0, 0.35, 1.0), 0.01, 1.0)
+    return SamplingPlan.per_site(rates)
+
+
+def _assert_populations_identical(a_reports, a_truth, b_reports, b_truth):
+    assert a_reports.n_runs == b_reports.n_runs
+    assert a_reports.failed.tolist() == b_reports.failed.tolist()
+    assert (a_reports.true_counts != b_reports.true_counts).nnz == 0
+    assert (a_reports.site_counts != b_reports.site_counts).nnz == 0
+    assert a_reports.stacks == b_reports.stacks
+    if a_truth is not None and b_truth is not None:
+        assert a_truth.occurrences == b_truth.occurrences
 
 
 class TestParallelRunner:
@@ -24,12 +44,44 @@ class TestParallelRunner:
             subject, 300, plan, seed=5, jobs=3, chunk_size=40
         )
 
-        assert par_reports.n_runs == serial_reports.n_runs
-        assert par_reports.failed.tolist() == serial_reports.failed.tolist()
-        assert (par_reports.true_counts != serial_reports.true_counts).nnz == 0
-        assert (par_reports.site_counts != serial_reports.site_counts).nnz == 0
+        _assert_populations_identical(
+            par_reports, par_truth, serial_reports, serial_truth
+        )
+
+    def test_bit_identical_under_per_site_plan(self):
+        """The serial/parallel identity must hold for adaptive (per-site)
+        sampling too, where every site keeps its own countdown."""
+        subject = TinySubject()
+        program = instrument_source(subject.source(), subject.name)
+        plan = _adaptive_plan(subject, program)
+        assert plan.mode == "per-site"
+
+        serial_reports, serial_truth = run_trials(
+            subject, program, 240, plan, seed=11
+        )
+        par_reports, par_truth = run_trials_parallel(
+            subject, 240, plan, seed=11, jobs=3, chunk_size=50
+        )
+        _assert_populations_identical(
+            par_reports, par_truth, serial_reports, serial_truth
+        )
+
+    def test_crash_stacks_preserved_across_processes(self):
+        """Crash-stack-bearing failing runs keep their signatures when
+        records cross the process boundary."""
+        subject = TinySubject()
+        program = instrument_source(subject.source(), subject.name)
+        serial_reports, _ = run_trials(
+            subject, program, 150, SamplingPlan.full(), seed=2
+        )
+        par_reports, _ = run_trials_parallel(
+            subject, 150, SamplingPlan.full(), seed=2, jobs=2, chunk_size=30
+        )
+        assert par_reports.num_failing > 0
         assert par_reports.stacks == serial_reports.stacks
-        assert par_truth.occurrences == serial_truth.occurrences
+        for i in range(par_reports.n_runs):
+            if par_reports.failed[i]:
+                assert par_reports.stacks[i][-1] == "ValueError"
 
     def test_single_job_works(self):
         subject = TinySubject()
@@ -45,3 +97,100 @@ class TestParallelRunner:
             subject, 25, SamplingPlan.full(), seed=100, jobs=2, chunk_size=4
         )
         assert [m["seed"] for m in reports.metas] == list(range(100, 125))
+
+
+class TestShardedCollection:
+    @pytest.mark.parametrize("plan_kind", ["uniform", "per-site"])
+    def test_merged_shards_bit_identical_to_serial(self, tmp_path, plan_kind):
+        subject = TinySubject()
+        program = instrument_source(subject.source(), subject.name)
+        if plan_kind == "uniform":
+            plan = SamplingPlan.uniform(0.3)
+        else:
+            plan = _adaptive_plan(subject, program)
+
+        serial_reports, serial_truth = run_trials(
+            subject, program, 200, plan, seed=7
+        )
+        store = run_trials_sharded(
+            subject,
+            200,
+            plan,
+            str(tmp_path / "store"),
+            seed=7,
+            jobs=3,
+            chunk_size=30,
+        )
+        merged_reports, merged_truth = store.load_merged()
+        _assert_populations_identical(
+            merged_reports, merged_truth, serial_reports, serial_truth
+        )
+
+    def test_incremental_store_scores_equal_monolithic(self, tmp_path):
+        """The acceptance property: streaming shard statistics produce
+        exactly the monolithic counters (F, S, F_obs, S_obs, NumF)."""
+        from repro.core.scores import compute_scores
+
+        subject = TinySubject()
+        program = instrument_source(subject.source(), subject.name)
+        plan = _adaptive_plan(subject, program)
+        serial_reports, _ = run_trials(subject, program, 180, plan, seed=3)
+        store = run_trials_sharded(
+            subject, 180, plan, str(tmp_path / "store"), seed=3, jobs=2, chunk_size=40
+        )
+        streaming = store.compute_scores()
+        mono = compute_scores(serial_reports)
+        np.testing.assert_array_equal(streaming.F, mono.F)
+        np.testing.assert_array_equal(streaming.S, mono.S)
+        np.testing.assert_array_equal(streaming.F_obs, mono.F_obs)
+        np.testing.assert_array_equal(streaming.S_obs, mono.S_obs)
+        assert streaming.num_failing == mono.num_failing
+
+    def test_append_session_extends_population(self, tmp_path):
+        subject = TinySubject()
+        plan = SamplingPlan.full()
+        store_dir = str(tmp_path / "store")
+        run_trials_sharded(subject, 60, plan, store_dir, seed=0, jobs=2, chunk_size=20)
+        store = run_trials_sharded(
+            subject, 40, plan, store_dir, seed=60, jobs=2, chunk_size=20
+        )
+        assert store.n_runs == 100
+        merged, _ = store.load_merged()
+        assert [m["seed"] for m in merged.metas] == list(range(100))
+
+    def test_overlapping_seed_range_rejected(self, tmp_path):
+        subject = TinySubject()
+        plan = SamplingPlan.full()
+        store_dir = str(tmp_path / "store")
+        run_trials_sharded(subject, 40, plan, store_dir, seed=0, jobs=1, chunk_size=20)
+        with pytest.raises(FileExistsError, match="next free seed: 40"):
+            run_trials_sharded(
+                subject, 40, plan, store_dir, seed=20, jobs=1, chunk_size=20
+            )
+
+    def test_parent_memory_bounded_in_n_runs(self, tmp_path):
+        """Workers write shards directly, so the parent's peak allocation
+        must not grow with the population size (only shard-membership
+        records return).  Compare parent-side peaks for a small and an
+        8x larger collection: far-sublinear growth is required."""
+        subject = TinySubject()
+        plan = SamplingPlan.full()
+
+        def parent_peak(n_runs, store_dir):
+            tracemalloc.start()
+            tracemalloc.reset_peak()
+            run_trials_sharded(
+                subject, n_runs, plan, store_dir, seed=0, jobs=2, chunk_size=30
+            )
+            _, peak = tracemalloc.get_traced_memory()
+            tracemalloc.stop()
+            return peak
+
+        # Warm-up collection so imports/caches don't bias the first sample.
+        parent_peak(30, str(tmp_path / "warm"))
+        small = parent_peak(90, str(tmp_path / "small"))
+        large = parent_peak(720, str(tmp_path / "large"))
+        # 8x the runs must cost far less than 8x the parent peak; the
+        # dominant parent allocation (instrumenting the subject for the
+        # manifest's table) is constant in n_runs.
+        assert large < small * 3 + 256 * 1024, (small, large)

@@ -62,11 +62,16 @@ class TestReturns:
         site_obs, pred_true = rt.end_run()
         assert site_obs == {} and pred_true == {}
 
-    def test_bool_counts_as_scalar(self):
+    def test_bool_returns_leave_site_unobserved(self):
+        """Regression: ``isinstance(True, int)`` must not make Python truth
+        values count as scalar returns -- the paper's C scheme only covers
+        scalar-returning call sites, and bool-returning calls have no C
+        analogue (their information lives in the ``branches`` scheme)."""
         rt, site, _ = _runtime_with(Scheme.RETURNS)
-        rt.ret(site.index, True)
-        _, pred_true = rt.end_run()
-        assert pred_true  # True == 1: >0, >=0, !=0
+        assert rt.ret(site.index, True) is True
+        assert rt.ret(site.index, False) is False
+        site_obs, pred_true = rt.end_run()
+        assert site_obs == {} and pred_true == {}
 
 
 class TestPairs:
@@ -93,6 +98,15 @@ class TestPairs:
         rt.pairs((site.index,), "str", (5,))
         site_obs, _ = rt.end_run()
         assert site_obs == {}
+
+    def test_bool_operands_leave_site_unobserved(self):
+        """Regression: bools are not scalars for the scalar-pairs scheme,
+        on either side of the pair."""
+        rt, site, _ = _runtime_with(Scheme.SCALAR_PAIRS, "x __ y")
+        rt.pairs((site.index,), True, (5,))
+        rt.pairs((site.index,), 3, (False,))
+        site_obs, pred_true = rt.end_run()
+        assert site_obs == {} and pred_true == {}
 
 
 class TestSamplingIntegration:
