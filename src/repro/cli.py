@@ -126,6 +126,25 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument(
         "--chunk-size", type=int, default=200, help="trials per shard"
     )
+    collect.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="attempts per chunk before the collection gives up",
+    )
+    collect.add_argument(
+        "--chunk-timeout", type=float, default=None,
+        help="seconds before a hung chunk worker is killed and retried",
+    )
+    collect.add_argument(
+        "--testing", action="store_true",
+        help="enable testing-only options such as --inject-fault",
+    )
+    collect.add_argument(
+        "--inject-fault", action="append", default=[], metavar="SPEC",
+        help="inject a collection fault (testing only; requires --testing); "
+        "SPEC is kind@chunk[#attempt], e.g. kill-worker@1 or flip-bytes@2; "
+        "kinds: kill-worker, hang-worker, truncate-shard, flip-bytes, "
+        "duplicate-shard, stale-manifest",
+    )
 
     analyze = sub.add_parser(
         "analyze",
@@ -148,6 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-only", action="store_true",
         help="shard stores only: rank by streaming sufficient statistics "
         "without materialising the population (skips elimination)",
+    )
+    analyze.add_argument(
+        "--no-audit", action="store_true",
+        help="shard stores only: skip the integrity audit (checksum "
+        "verification and quarantine of damaged shards) before analysis",
     )
     return parser
 
@@ -216,7 +240,20 @@ def _collect(args) -> int:
     from repro.harness.experiment import build_plan
     from repro.harness.parallel import run_trials_sharded
     from repro.instrument.tracer import instrument_source
-    from repro.store import ShardStore
+    from repro.store import ShardStore, parse_faults
+
+    faults = None
+    if args.inject_fault:
+        if not args.testing:
+            print(
+                "error: --inject-fault is a testing-only option; "
+                "pass --testing to acknowledge",
+                file=sys.stderr,
+            )
+            return 2
+        faults = tuple(
+            fault for spec in args.inject_fault for fault in parse_faults(spec)
+        )
 
     subject = SUBJECTS[args.subject]()
     program = instrument_source(subject.source(), subject.name)
@@ -247,7 +284,19 @@ def _collect(args) -> int:
         seed=seed,
         jobs=args.jobs,
         chunk_size=args.chunk_size,
+        max_attempts=args.max_attempts,
+        chunk_timeout=args.chunk_timeout,
+        faults=faults,
     )
+    report = getattr(store, "last_collection", None)
+    if report is not None and report.retries:
+        print(
+            f"supervision: {report.attempts} attempts for {report.n_chunks} "
+            f"chunks ({report.retries} retries: {report.worker_deaths} dead "
+            f"workers, {report.timeouts} timeouts, {report.corrupt_shards} "
+            "corrupt shards quarantined)",
+            file=sys.stderr,
+        )
     print(
         f"store now holds {store.n_shards} shards, {store.n_runs} runs "
         f"({store.num_failing} failing)"
@@ -267,6 +316,39 @@ def _analyze_store(args) -> int:
         f"({store.num_failing} failing), subject {store.manifest.subject}",
         file=sys.stderr,
     )
+    if not args.no_audit:
+        audit = store.audit()
+        for name in audit.rolled_forward:
+            print(f"audit: recovered committed shard {name}", file=sys.stderr)
+        if audit.quarantined:
+            for rec in audit.quarantined:
+                print(
+                    f"audit: quarantined {rec.filename} [{rec.reason}] "
+                    f"({rec.n_runs} runs lost"
+                    + (
+                        f", seeds {rec.seed_start}.."
+                        f"{rec.seed_start + rec.n_runs - 1}"
+                        if rec.seed_start is not None and rec.n_runs
+                        else ""
+                    )
+                    + f"): {rec.detail}",
+                    file=sys.stderr,
+                )
+            print(
+                f"audit: {audit.runs_lost} of "
+                f"{audit.runs_lost + store.n_runs} runs lost to quarantine; "
+                f"analysis continues over the {store.n_runs} surviving runs",
+                file=sys.stderr,
+            )
+        if audit.orphans:
+            print(
+                "audit: ignoring unregistered shard files: "
+                + ", ".join(audit.orphans),
+                file=sys.stderr,
+            )
+        if store.n_shards == 0:
+            print("audit left no usable shards; nothing to analyse", file=sys.stderr)
+            return 1
     # Pruning needs only the sufficient statistics, accumulated shard by
     # shard -- no run matrix is ever materialised for this step.
     scores = store.compute_scores()

@@ -35,7 +35,11 @@ layouts and ``tests/core/test_io.py`` pins the compatibility.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
+import zlib
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -53,6 +57,86 @@ SUPPORTED_VERSIONS = (1, 2)
 
 #: JSON-representable scalar types that survive a round trip unchanged.
 _JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+class ArchiveError(ValueError):
+    """Base class for report-archive read failures.
+
+    Subclasses ``ValueError`` so pre-existing callers that caught the
+    loader's old untyped errors keep working.
+    """
+
+
+class ArchiveCorruptError(ArchiveError):
+    """The archive's bytes cannot be parsed (truncated, flipped, ...)."""
+
+
+class ArchiveVersionError(ArchiveError):
+    """The archive declares a format version this build cannot read."""
+
+
+#: Exceptions :func:`load_reports` translates into :class:`ArchiveCorruptError`.
+#: ``KeyError`` covers missing archive members, ``zlib.error`` a flipped
+#: byte inside a compressed member, ``BadZipFile``/``EOFError``/``OSError``
+#: truncation, and ``ValueError`` both damaged embedded JSON
+#: (``JSONDecodeError``) and ``np.load`` rejecting bytes that are not an
+#: archive at all.  :class:`ArchiveError` itself is re-raised unchanged
+#: by the loaders despite being a ``ValueError``.
+_CORRUPTION_ERRORS = (
+    zipfile.BadZipFile,
+    zlib.error,
+    KeyError,
+    EOFError,
+    OSError,
+    ValueError,
+)
+
+
+def file_sha256(path: str) -> str:
+    """SHA-256 of a file's bytes, streamed in 1 MiB blocks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def atomic_write_bytes_via(path: str, write) -> None:
+    """Write a file crash-safely: temp file + flush + fsync + rename.
+
+    ``write`` is called with the open binary handle.  Either the complete
+    new file appears at ``path`` or nothing does; a crash mid-write
+    leaves at most an orphaned ``.tmp.<pid>`` file, never a truncated
+    archive under the final name.
+    """
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    _fsync_dir(os.path.dirname(os.path.abspath(path)))
+
+
+def _fsync_dir(directory: str) -> None:
+    """Flush a directory entry so a rename survives power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir-fsync
+        pass
+    finally:
+        os.close(fd)
 
 
 def _table_to_json(table: PredicateTable) -> str:
@@ -168,6 +252,10 @@ def save_reports(
         reports: The report population.
         truth: Optional run-aligned ground truth.
 
+    The archive is written crash-safely (temp file + fsync + atomic
+    rename), so an interrupted save never leaves a truncated archive at
+    ``path``.
+
     Raises:
         ValueError: When a per-run meta is not JSON-clean
             (see :func:`validate_metas`).
@@ -200,14 +288,13 @@ def save_reports(
         payload["truth_runs_json"] = np.asarray(
             json.dumps([sorted(occ) for occ in truth.occurrences])
         )
-    with open(path, "wb") as handle:
-        np.savez_compressed(handle, **payload)
+    atomic_write_bytes_via(path, lambda handle: np.savez_compressed(handle, **payload))
 
 
 def _check_version(archive) -> int:
     version = int(archive["format_version"][0])
     if version not in SUPPORTED_VERSIONS:
-        raise ValueError(
+        raise ArchiveVersionError(
             f"unsupported report archive version {version} "
             f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
         )
@@ -224,26 +311,43 @@ def load_reports(path: str) -> Tuple[ReportSet, Optional[GroundTruth]]:
     Returns:
         ``(reports, truth)``; ``truth`` is ``None`` when the archive was
         written without ground truth.
+
+    Raises:
+        ArchiveCorruptError: When the file cannot be parsed -- truncated
+            zip, flipped bytes inside a compressed member, missing
+            members, or damaged embedded JSON.
+        ArchiveVersionError: When the declared format version is not one
+            of :data:`SUPPORTED_VERSIONS`.
+        FileNotFoundError: When ``path`` does not exist.
     """
-    with np.load(path, allow_pickle=False) as archive:
-        _check_version(archive)
-        table = _table_from_json(str(archive["table_json"]))
-        stacks_raw = json.loads(str(archive["stacks_json"]))
-        stacks = [tuple(s) if s is not None else None for s in stacks_raw]
-        metas = json.loads(str(archive["metas_json"]))
-        reports = ReportSet(
-            table,
-            archive["failed"],
-            _csr_from_parts(archive, "sites"),
-            _csr_from_parts(archive, "preds"),
-            stacks,
-            metas,
-        )
-        truth: Optional[GroundTruth] = None
-        if "truth_bugs_json" in archive:
-            truth = GroundTruth(bug_ids=json.loads(str(archive["truth_bugs_json"])))
-            for bugs in json.loads(str(archive["truth_runs_json"])):
-                truth.add_run(bugs)
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            _check_version(archive)
+            table = _table_from_json(str(archive["table_json"]))
+            stacks_raw = json.loads(str(archive["stacks_json"]))
+            stacks = [tuple(s) if s is not None else None for s in stacks_raw]
+            metas = json.loads(str(archive["metas_json"]))
+            reports = ReportSet(
+                table,
+                archive["failed"],
+                _csr_from_parts(archive, "sites"),
+                _csr_from_parts(archive, "preds"),
+                stacks,
+                metas,
+            )
+            truth: Optional[GroundTruth] = None
+            if "truth_bugs_json" in archive:
+                truth = GroundTruth(bug_ids=json.loads(str(archive["truth_bugs_json"])))
+                for bugs in json.loads(str(archive["truth_runs_json"])):
+                    truth.add_run(bugs)
+    except ArchiveError:
+        raise
+    except _CORRUPTION_ERRORS as exc:
+        raise ArchiveCorruptError(
+            f"cannot read report archive {path}: {exc!r}"
+        ) from exc
     return reports, truth
 
 
@@ -261,22 +365,39 @@ def load_shard_stats(
 
     Returns:
         ``(F, S, F_obs, S_obs, num_failing, num_successful, table_sha)``;
-        ``table_sha`` is ``None`` for version 1 archives.
+        ``table_sha`` is ``None`` for version 1 archives (the signature
+        is instead derived from the materialised table).
+
+    Raises:
+        ArchiveCorruptError: When the statistics cannot be read (see
+            :func:`load_reports` for the failure classes covered).
+        ArchiveVersionError: On an unsupported format version.
     """
-    with np.load(path, allow_pickle=False) as archive:
-        version = _check_version(archive)
-        if version >= 2:
-            return (
-                np.asarray(archive["stats_F"], dtype=np.int64),
-                np.asarray(archive["stats_S"], dtype=np.int64),
-                np.asarray(archive["stats_F_obs"], dtype=np.int64),
-                np.asarray(archive["stats_S_obs"], dtype=np.int64),
-                int(archive["stats_num_failing"][0]),
-                int(archive["stats_num_successful"][0]),
-                str(archive["table_sha"]),
-            )
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            version = _check_version(archive)
+            if version >= 2:
+                return (
+                    np.asarray(archive["stats_F"], dtype=np.int64),
+                    np.asarray(archive["stats_S"], dtype=np.int64),
+                    np.asarray(archive["stats_F_obs"], dtype=np.int64),
+                    np.asarray(archive["stats_S_obs"], dtype=np.int64),
+                    int(archive["stats_num_failing"][0]),
+                    int(archive["stats_num_successful"][0]),
+                    str(archive["table_sha"]),
+                )
+    except ArchiveError:
+        raise
+    except _CORRUPTION_ERRORS as exc:
+        raise ArchiveCorruptError(
+            f"cannot read shard statistics from {path}: {exc!r}"
+        ) from exc
     from repro.core.scores import sufficient_counts
 
+    # Version 1 fallback: derive the statistics from the full archive and
+    # report the loaded table's signature so integrity checks still apply.
     reports, _ = load_reports(path)
     F, S, F_obs, S_obs, num_failing, num_successful = sufficient_counts(reports)
-    return F, S, F_obs, S_obs, num_failing, num_successful, None
+    return F, S, F_obs, S_obs, num_failing, num_successful, reports.table.signature()

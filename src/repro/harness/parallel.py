@@ -20,6 +20,20 @@ Two collection modes are provided:
   memory independently of ``n_runs``, which is the collection story for
   populations far larger than one process can hold.  Merging the shards
   in seed order reproduces the streamed population exactly.
+
+The sharded collector is additionally *supervised*: each chunk runs in
+its own forked worker process whose death (SIGKILL, crash) or hang
+(per-chunk timeout) the parent detects and repairs by re-running the
+chunk's seed range with exponential backoff.  Because every trial
+derives its input and sampler state purely from ``seed + i``
+(:meth:`repro.instrument.runtime.Runtime.begin_run`), a retried range
+reproduces the lost shard's contents exactly -- fault recovery never
+perturbs the collected population.  Shards are committed through the
+store's write-ahead protocol (pending file, then manifest append as the
+commit point), their checksums are verified before commit, and damaged
+shards are quarantined and re-collected.  Every attempt, failure,
+quarantine and commit is appended to the store's
+``collection_log.jsonl``.
 """
 
 from __future__ import annotations
@@ -27,6 +41,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
+import signal
+import time
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.reports import ReportBuilder, ReportSet
@@ -151,6 +168,83 @@ def _run_chunk_to_shard(args: Tuple[int, int, SamplingPlan, str]) -> Tuple[str, 
     return os.path.basename(shard_path), reports.n_runs, reports.num_failing, start
 
 
+#: How long a hang-worker fault sleeps; effectively forever next to any
+#: realistic chunk timeout.
+_HANG_SECONDS = 3600.0
+
+
+@dataclass
+class _ChunkState:
+    """Supervision bookkeeping for one collection chunk."""
+
+    index: int
+    start: int
+    count: int
+    attempt: int = 0
+    ready_at: float = 0.0  # monotonic time before which it may not launch
+
+
+@dataclass
+class CollectionReport:
+    """What the supervised collector did beyond the happy path.
+
+    Attached to the returned store as ``store.last_collection`` and
+    mirrored, event by event, in the store's ``collection_log.jsonl``.
+
+    Attributes:
+        n_chunks: Chunks this session collected.
+        attempts: Worker launches, including retries.
+        retries: Re-executions after a failure (``attempts - n_chunks``
+            when every chunk eventually succeeded).
+        worker_deaths: Attempts that ended with a dead worker (crash or
+            kill) before reporting a result.
+        timeouts: Attempts the parent killed for exceeding the chunk
+            timeout.
+        corrupt_shards: Attempts whose shard failed post-write
+            verification and was quarantined.
+        quarantined: Quarantined shard filenames.
+    """
+
+    n_chunks: int = 0
+    attempts: int = 0
+    retries: int = 0
+    worker_deaths: int = 0
+    timeouts: int = 0
+    corrupt_shards: int = 0
+    quarantined: List[str] = field(default_factory=list)
+
+
+def _chunk_worker(
+    result_queue,
+    chunk_index: int,
+    attempt: int,
+    start: int,
+    count: int,
+    plan: SamplingPlan,
+    pending_path: str,
+    faults,
+) -> None:
+    """Collection worker body: run a chunk, write + hash its shard.
+
+    Runs in a forked child that inherited the instrumented program via
+    :data:`_WORKER`.  The shard digest is computed on the healthy bytes
+    *before* any injected damage, so damage is detected by the parent's
+    checksum verification exactly as real in-transit corruption would be.
+    """
+    from repro.core.io import file_sha256
+    from repro.store.faults import FaultInjector, apply_worker_damage
+
+    injector = FaultInjector(faults or ())
+    if injector.fires("hang-worker", chunk_index, attempt):
+        time.sleep(_HANG_SECONDS)
+    if injector.fires("kill-worker", chunk_index, attempt):
+        os.kill(os.getpid(), signal.SIGKILL)
+    _, n_runs, num_failing, _ = _run_chunk_to_shard((start, count, plan, pending_path))
+    digest = file_sha256(pending_path)
+    apply_worker_damage(injector, chunk_index, attempt, pending_path)
+    result_queue.put((chunk_index, n_runs, num_failing, digest))
+
+
 def run_trials_sharded(
     subject: Subject,
     n_runs: int,
@@ -160,6 +254,11 @@ def run_trials_sharded(
     jobs: int = 2,
     config: Optional[InstrumentationConfig] = None,
     chunk_size: int = 200,
+    max_attempts: int = 3,
+    chunk_timeout: Optional[float] = None,
+    backoff_base: float = 0.1,
+    backoff_cap: float = 5.0,
+    faults=None,
 ):
     """Collect a population as on-disk shards written directly by workers.
 
@@ -167,12 +266,25 @@ def run_trials_sharded(
     to the parent: each worker builds its chunk's
     :class:`~repro.core.reports.ReportSet` locally and writes it as a
     format-v2 shard into ``store_dir``.  The parent only instruments once
-    (for the predicate table in the manifest) and registers shard
+    (for the predicate table in the manifest) and commits shard
     membership, so its memory use is independent of ``n_runs``.
 
     The trial seeding is identical to the serial and streaming runners,
     so ``ShardStore.load_merged()`` on the result is bit-identical to
-    :func:`repro.harness.runner.run_trials` with the same arguments.
+    :func:`repro.harness.runner.run_trials` with the same arguments --
+    including when chunks are retried, because a chunk's shard is a pure
+    function of its seed range.
+
+    Supervision: each chunk runs in its own forked process.  A worker
+    that dies (crash, OOM kill) or exceeds ``chunk_timeout`` is detected
+    and its seed range re-run after an exponential backoff
+    (``backoff_base * 2**(attempt-1)``, capped at ``backoff_cap``), up to
+    ``max_attempts`` total attempts per chunk.  Completed shards are
+    checksum-verified before commit; damaged ones are quarantined and
+    the chunk retried.  Shards are committed in seed order through the
+    store's write-ahead protocol, so an interrupted session never leaves
+    a partially written shard under a committed name (see
+    :mod:`repro.store.shards`).
 
     Args:
         subject: The subject program.
@@ -181,56 +293,298 @@ def run_trials_sharded(
         store_dir: Shard-store directory; created on first use, appended
             to otherwise (the instrumentation must match).
         seed: Base seed; trial ``i`` uses ``seed + i``.
-        jobs: Worker process count.
+        jobs: Concurrent worker process count.
         config: Instrumentation configuration.
         chunk_size: Trials per shard.
+        max_attempts: Total attempts per chunk before giving up.
+        chunk_timeout: Seconds a single chunk attempt may run; ``None``
+            disables the watchdog.
+        backoff_base: First-retry delay in seconds.
+        backoff_cap: Upper bound on the retry delay.
+        faults: Optional iterable of :class:`repro.store.faults.Fault`
+            to inject (testing only); when ``None``, faults may still
+            arrive through the ``REPRO_INJECT_FAULTS`` environment
+            variable.
 
     Returns:
-        The :class:`repro.store.ShardStore` holding the new shards.
+        The :class:`repro.store.ShardStore` holding the new shards, with
+        this session's :class:`CollectionReport` attached as
+        ``store.last_collection``.
+
+    Raises:
+        repro.store.errors.CollectionError: A chunk failed
+            ``max_attempts`` times; everything committed before the
+            failure remains committed and recoverable.
     """
+    from repro.core.io import file_sha256, load_shard_stats
+    from repro.core.io import ArchiveError
     from repro.store import ShardStore
-    from repro.store.shards import shard_filename
+    from repro.store.errors import CollectionError
+    from repro.store.faults import FaultInjector, faults_from_env
+    from repro.store.manifest import ShardEntry
+    from repro.store.shards import PENDING_SUFFIX, shard_filename
+
+    injector = FaultInjector(faults if faults is not None else faults_from_env())
 
     program = instrument_source(subject.source(), subject.name, config=config)
     store = ShardStore.open_or_create(
         store_dir, subject.name, program.table, plan, config=config
     )
+    store.recover()
 
     chunks = [
-        (
-            seed + start,
-            min(chunk_size, n_runs - start),
-            plan,
-            os.path.join(store_dir, shard_filename(seed + start)),
-        )
-        for start in range(0, n_runs, chunk_size)
+        _ChunkState(index=i, start=seed + offset, count=min(chunk_size, n_runs - offset))
+        for i, offset in enumerate(range(0, n_runs, chunk_size))
     ]
-    for _, _, _, shard_path in chunks:
-        if os.path.exists(shard_path):
+    for chunk in chunks:
+        final_path = os.path.join(store_dir, shard_filename(chunk.start))
+        filename = os.path.basename(final_path)
+        if store.manifest.find(filename) is not None:
             raise FileExistsError(
-                f"shard {os.path.basename(shard_path)} already exists in "
+                f"shard {filename} already exists in "
                 f"{store_dir}; choose a disjoint seed range (next free seed: "
                 f"{store.next_seed})"
             )
+        if os.path.exists(final_path):
+            # A shard file with no manifest entry was never committed
+            # (e.g. a pre-commit-protocol session died between the shard
+            # write and the manifest update); its range was never counted,
+            # so reclaim the name and re-collect it.
+            os.unlink(final_path)
+            store.log_event("reclaim-uncommitted", filename=filename)
 
-    from repro.store.manifest import ShardEntry
+    report = CollectionReport(n_chunks=len(chunks))
+    store.log_event(
+        "session-start",
+        subject=subject.name,
+        seed=seed,
+        n_runs=n_runs,
+        chunks=len(chunks),
+        jobs=jobs,
+        faults=[f.spec() for f in injector.faults],
+    )
+
+    # Workers are forked per chunk and inherit the instrumented program
+    # through _WORKER -- no per-worker re-instrumentation, and chunk
+    # shards stay a pure function of their seed range.
+    _WORKER["subject"] = subject
+    _WORKER["program"] = program
 
     ctx = multiprocessing.get_context("fork")
-    with ctx.Pool(
-        processes=max(jobs, 1),
-        initializer=_init_worker,
-        initargs=(subject, config),
-    ) as pool:
-        for filename, count, failing, start in pool.imap(
-            _run_chunk_to_shard, chunks
-        ):
-            store.register_shard(
-                ShardEntry(
-                    filename=filename,
-                    n_runs=count,
-                    num_failing=failing,
-                    seed_start=start,
-                )
-            )
+    result_queue = ctx.SimpleQueue()
 
+    waiting: List[_ChunkState] = list(chunks)
+    active: Dict[int, Tuple[object, float, _ChunkState]] = {}
+    completed: Dict[int, ShardEntry] = {}
+    chunk_attempt: Dict[int, int] = {}
+    next_commit = 0
+    results: Dict[int, Tuple[int, int, str]] = {}
+
+    def pending_path_of(chunk: _ChunkState) -> str:
+        return os.path.join(
+            store_dir, shard_filename(chunk.start) + PENDING_SUFFIX
+        )
+
+    def fail_chunk(chunk: _ChunkState, why: str, detail: str) -> None:
+        """Record a failed attempt and requeue (or give up on) the chunk."""
+        store.log_event(
+            "chunk-failed",
+            chunk=chunk.index,
+            seed_start=chunk.start,
+            attempt=chunk.attempt,
+            reason=why,
+            detail=detail,
+        )
+        results.pop(chunk.index, None)  # drop any stale result of this attempt
+        staged = pending_path_of(chunk)
+        if why == "corrupt-shard":
+            record = store.quarantine_file(
+                os.path.basename(staged),
+                "failed-verification",
+                detail,
+                seed_start=chunk.start,
+            )
+            report.corrupt_shards += 1
+            report.quarantined.append(record.filename)
+        elif os.path.exists(staged):
+            os.unlink(staged)
+        next_attempt = chunk.attempt + 1
+        if next_attempt >= max_attempts:
+            for proc, _, _ in active.values():
+                proc.kill()  # type: ignore[attr-defined]
+                proc.join()  # type: ignore[attr-defined]
+            raise CollectionError(chunk.start, chunk.count, next_attempt, f"{why}: {detail}")
+        delay = min(backoff_cap, backoff_base * (2 ** chunk.attempt))
+        chunk.attempt = next_attempt
+        chunk.ready_at = time.monotonic() + delay
+        report.retries += 1
+        store.log_event(
+            "chunk-retry",
+            chunk=chunk.index,
+            seed_start=chunk.start,
+            attempt=next_attempt,
+            backoff=delay,
+        )
+        waiting.append(chunk)
+
+    def verify_result(chunk: _ChunkState, n: int, failing: int, digest: str):
+        """Check the worker's pending shard before committing it."""
+        staged = pending_path_of(chunk)
+        if not os.path.exists(staged):
+            return None, "pending shard file vanished"
+        actual = file_sha256(staged)
+        if actual != digest:
+            return None, (
+                f"checksum mismatch: worker wrote {digest[:12]}..., "
+                f"file now {actual[:12]}..."
+            )
+        try:
+            _, _, _, _, num_failing, num_successful, table_sha = load_shard_stats(staged)
+        except ArchiveError as exc:
+            return None, f"unreadable: {exc}"
+        if table_sha is not None and table_sha != store.manifest.table_sha:
+            return None, "table signature mismatch"
+        if num_failing + num_successful != chunk.count or n != chunk.count:
+            return None, (
+                f"run count mismatch: expected {chunk.count}, "
+                f"archive holds {num_failing + num_successful}"
+            )
+        return (
+            ShardEntry(
+                filename=shard_filename(chunk.start),
+                n_runs=n,
+                num_failing=failing,
+                seed_start=chunk.start,
+                sha256=digest,
+            ),
+            None,
+        )
+
+    try:
+        while len(completed) < len(chunks) or next_commit < len(chunks):
+            now = time.monotonic()
+
+            # Launch ready chunks up to the concurrency cap.
+            launchable = [c for c in waiting if c.ready_at <= now]
+            for chunk in launchable:
+                if len(active) >= max(jobs, 1):
+                    break
+                waiting.remove(chunk)
+                proc = ctx.Process(
+                    target=_chunk_worker,
+                    args=(
+                        result_queue,
+                        chunk.index,
+                        chunk.attempt,
+                        chunk.start,
+                        chunk.count,
+                        plan,
+                        pending_path_of(chunk),
+                        injector.faults,
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                report.attempts += 1
+                chunk_attempt[chunk.index] = chunk.attempt
+                deadline = now + chunk_timeout if chunk_timeout else float("inf")
+                active[chunk.index] = (proc, deadline, chunk)
+                store.log_event(
+                    "chunk-start",
+                    chunk=chunk.index,
+                    seed_start=chunk.start,
+                    count=chunk.count,
+                    attempt=chunk.attempt,
+                )
+
+            # Drain finished workers' results.
+            while not result_queue.empty():
+                idx, n, failing, digest = result_queue.get()
+                results[idx] = (n, failing, digest)
+
+            # Reap exited or timed-out workers.
+            for idx in list(active):
+                proc, deadline, chunk = active[idx]
+                if proc.is_alive():  # type: ignore[attr-defined]
+                    if time.monotonic() > deadline:
+                        proc.kill()  # type: ignore[attr-defined]
+                        proc.join()  # type: ignore[attr-defined]
+                        del active[idx]
+                        report.timeouts += 1
+                        fail_chunk(
+                            chunk,
+                            "timeout",
+                            f"exceeded chunk timeout of {chunk_timeout}s",
+                        )
+                    continue
+                proc.join()  # type: ignore[attr-defined]
+                del active[idx]
+                # A SimpleQueue write completes before the child exits,
+                # but drain once more in case it landed after the loop
+                # above.
+                while not result_queue.empty():
+                    ridx, n, failing, digest = result_queue.get()
+                    results[ridx] = (n, failing, digest)
+                if idx not in results:
+                    report.worker_deaths += 1
+                    fail_chunk(
+                        chunk,
+                        "worker-died",
+                        f"worker exited with code {proc.exitcode} before "  # type: ignore[attr-defined]
+                        "reporting a result",
+                    )
+                    continue
+                n, failing, digest = results.pop(idx)
+                entry, problem = verify_result(chunk, n, failing, digest)
+                if entry is None:
+                    fail_chunk(chunk, "corrupt-shard", problem or "verification failed")
+                    continue
+                completed[idx] = entry
+                store.log_event(
+                    "chunk-done",
+                    chunk=idx,
+                    seed_start=chunk.start,
+                    attempt=chunk.attempt,
+                    n_runs=entry.n_runs,
+                    num_failing=entry.num_failing,
+                )
+
+            # Commit completed chunks in seed order (merge order).
+            while next_commit < len(chunks) and next_commit in completed:
+                entry = completed[next_commit]
+                store.commit_shard(entry)
+                store.log_event(
+                    "commit", chunk=next_commit, filename=entry.filename
+                )
+                if injector.fires(
+                    "stale-manifest", next_commit, chunk_attempt.get(next_commit, 0)
+                ):
+                    os.unlink(os.path.join(store_dir, entry.filename))
+                    store.log_event(
+                        "fault-injected",
+                        kind="stale-manifest",
+                        chunk=next_commit,
+                        filename=entry.filename,
+                    )
+                next_commit += 1
+
+            if active or waiting or len(completed) > next_commit:
+                time.sleep(0.005)
+    finally:
+        for proc, _, _ in active.values():
+            if proc.is_alive():  # type: ignore[attr-defined]
+                proc.kill()  # type: ignore[attr-defined]
+            proc.join()  # type: ignore[attr-defined]
+        result_queue.close()
+
+    store.log_event(
+        "session-end",
+        chunks=report.n_chunks,
+        attempts=report.attempts,
+        retries=report.retries,
+        timeouts=report.timeouts,
+        worker_deaths=report.worker_deaths,
+        corrupt_shards=report.corrupt_shards,
+    )
+    store.last_collection = report
     return store

@@ -121,6 +121,62 @@ class Runtime:
         return site_obs, pred_true
 
     # ------------------------------------------------------------------
+    # Sampler-state round-tripping
+    # ------------------------------------------------------------------
+    def sampler_state(self) -> Dict[str, object]:
+        """Snapshot the sampler mid-run: countdowns, rates, RNG state.
+
+        Together with :meth:`restore_sampler_state` this makes the
+        take/skip decision stream *resumable*: a runtime restored from a
+        snapshot continues with exactly the decisions the snapshotting
+        runtime would have made.  This is the determinism contract the
+        fault-tolerant collector leans on -- a run (or a retried shard
+        range) is a pure function of its seed, and the property suite
+        (`tests/instrument/test_sampling_properties.py`) pins that the
+        countdown state survives an arbitrary split point, the in-process
+        analogue of a shard boundary.
+        """
+        kind = (
+            "full"
+            if self._take == self._take_full
+            else "uniform"
+            if self._take == self._take_uniform
+            else "per-site"
+        )
+        return {
+            "kind": kind,
+            "rate": self._rate,
+            "gap": self._gap,
+            "rates": list(self._rates),
+            "gaps": list(self._gaps),
+            "rng": self._rng.getstate(),
+        }
+
+    def restore_sampler_state(self, state: Dict[str, object]) -> None:
+        """Restore a sampler snapshot taken by :meth:`sampler_state`.
+
+        Only the sampling side (countdowns and RNG) is restored; the
+        observation counters are left alone, so a caller can both resume
+        a run and splice decision streams across runtime instances.
+        """
+        kind = state["kind"]
+        self._rate = float(state["rate"])  # type: ignore[arg-type]
+        self._gap = int(state["gap"])  # type: ignore[arg-type]
+        self._rates = [float(r) for r in state["rates"]]  # type: ignore[union-attr]
+        self._gaps = [int(g) for g in state["gaps"]]  # type: ignore[union-attr]
+        self._rng = random.Random()
+        self._rng.setstate(state["rng"])  # type: ignore[arg-type]
+        self._rng_random = self._rng.random
+        if kind == "full":
+            self._take = self._take_full
+        elif kind == "uniform":
+            self._take = self._take_uniform
+        elif kind == "per-site":
+            self._take = self._take_persite
+        else:
+            raise ValueError(f"unknown sampler kind {kind!r} in snapshot")
+
+    # ------------------------------------------------------------------
     # Samplers (bound to self._take per run)
     # ------------------------------------------------------------------
     def _take_full(self, site: int) -> bool:

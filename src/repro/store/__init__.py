@@ -17,8 +17,33 @@ make the split safe:
 3. **Compatibility checking** -- every shard and the manifest carry the
    predicate table's content signature, so shards from different
    instrumentations can never be silently mixed.
+
+Because the collection fleet is assumed unreliable (PAPER.md section 2's
+deployed user population), the store is additionally *fault tolerant*:
+shard writes are crash-safe with the manifest append as the commit point
+(:mod:`repro.store.shards`), damaged shards are quarantined with
+machine-readable reasons rather than aborting analysis
+(:meth:`ShardStore.audit`), every failure mode has a typed exception
+(:mod:`repro.store.errors`), and the whole pipeline can be exercised
+under injected faults (:mod:`repro.store.faults`).
 """
 
+from repro.store.errors import (
+    CollectionError,
+    DuplicateSeedRangeError,
+    ShardCorruptionError,
+    ShardIntegrityError,
+    StaleManifestError,
+    StoreError,
+)
+from repro.store.faults import (
+    FAULT_KINDS,
+    FAULTS_ENV_VAR,
+    Fault,
+    FaultInjector,
+    faults_from_env,
+    parse_faults,
+)
 from repro.store.incremental import SufficientStats
 from repro.store.manifest import (
     ShardEntry,
@@ -27,15 +52,40 @@ from repro.store.manifest import (
     plan_from_json,
     plan_to_json,
 )
-from repro.store.shards import MANIFEST_NAME, ShardStore
+from repro.store.shards import (
+    COLLECTION_LOG_NAME,
+    MANIFEST_NAME,
+    PENDING_SUFFIX,
+    QUARANTINE_DIR,
+    AuditReport,
+    QuarantineRecord,
+    ShardStore,
+)
 
 __all__ = [
+    "AuditReport",
+    "COLLECTION_LOG_NAME",
+    "CollectionError",
+    "DuplicateSeedRangeError",
+    "FAULTS_ENV_VAR",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
     "MANIFEST_NAME",
+    "PENDING_SUFFIX",
+    "QUARANTINE_DIR",
+    "QuarantineRecord",
+    "ShardCorruptionError",
     "ShardEntry",
+    "ShardIntegrityError",
     "ShardManifest",
     "ShardStore",
+    "StaleManifestError",
+    "StoreError",
     "SufficientStats",
     "config_digest",
+    "faults_from_env",
+    "parse_faults",
     "plan_from_json",
     "plan_to_json",
 ]

@@ -1,0 +1,189 @@
+"""Deterministic fault injection for the collection pipeline.
+
+The store's robustness guarantees (crash-safe writes, quarantine,
+retry/backoff) are only believable if they can be exercised on demand, so
+this module defines a small language of injectable faults used by both
+the test suite and the CLI (``repro-cbi collect --testing
+--inject-fault ...``):
+
+==================  =====================================================
+kind                effect
+==================  =====================================================
+``kill-worker``     the worker SIGKILLs itself before writing its shard
+                    (models an OOM-killed or crashed collection machine)
+``hang-worker``     the worker sleeps forever (models a wedged machine;
+                    caught by the parent's per-chunk timeout)
+``truncate-shard``  the written shard file is truncated to 60% of its
+                    bytes after the worker hashed it (corruption in
+                    transit)
+``flip-bytes``      bytes in the middle of the written shard are
+                    inverted after hashing (bit rot / bad disk)
+``duplicate-shard`` an unregistered copy of the shard appears in the
+                    store directory (a retried upload that landed twice)
+``stale-manifest``  the shard file is deleted *after* the manifest
+                    committed it (models post-collection data loss)
+==================  =====================================================
+
+A fault spec is ``kind@chunk`` with an optional ``#attempt`` suffix,
+e.g. ``kill-worker@1`` (kill the worker for chunk 1 on its first
+attempt) or ``flip-bytes@2#1`` (corrupt chunk 2's shard on its second
+attempt).  Specs combine with commas: ``kill-worker@0,flip-bytes@2``.
+Every fault fires on exactly one (chunk, attempt) pair, so a retried
+chunk succeeds -- which is precisely what the integration tests assert.
+
+Faults can also be injected ambiently through the ``REPRO_INJECT_FAULTS``
+environment variable (same syntax), which reaches worker processes that
+the CLI cannot parameterise directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+#: Environment variable consulted by :func:`faults_from_env`.
+FAULTS_ENV_VAR = "REPRO_INJECT_FAULTS"
+
+#: All recognised fault kinds.
+FAULT_KINDS = (
+    "kill-worker",
+    "hang-worker",
+    "truncate-shard",
+    "flip-bytes",
+    "duplicate-shard",
+    "stale-manifest",
+)
+
+#: Fault kinds applied inside the worker process.
+WORKER_FAULTS = frozenset(
+    {"kill-worker", "hang-worker", "truncate-shard", "flip-bytes", "duplicate-shard"}
+)
+
+#: Fault kinds applied by the supervising parent after commit.
+PARENT_FAULTS = frozenset({"stale-manifest"})
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injectable fault, pinned to a chunk index and attempt number.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        chunk: Zero-based collection chunk index the fault targets.
+        attempt: Zero-based attempt number on which it fires (0 = the
+            chunk's first execution), so retries see a healthy worker.
+    """
+
+    kind: str
+    chunk: int = 0
+    attempt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(known: {', '.join(FAULT_KINDS)})"
+            )
+
+    def spec(self) -> str:
+        """The spec string that parses back to this fault."""
+        text = f"{self.kind}@{self.chunk}"
+        if self.attempt:
+            text += f"#{self.attempt}"
+        return text
+
+
+def parse_fault(spec: str) -> Fault:
+    """Parse one ``kind@chunk[#attempt]`` spec."""
+    text = spec.strip()
+    attempt = 0
+    if "#" in text:
+        text, attempt_text = text.rsplit("#", 1)
+        attempt = int(attempt_text)
+    chunk = 0
+    if "@" in text:
+        text, chunk_text = text.rsplit("@", 1)
+        chunk = int(chunk_text)
+    return Fault(kind=text, chunk=chunk, attempt=attempt)
+
+
+def parse_faults(spec: Optional[str]) -> Tuple[Fault, ...]:
+    """Parse a comma-separated fault list; ``None``/empty means no faults."""
+    if not spec:
+        return ()
+    return tuple(parse_fault(part) for part in spec.split(",") if part.strip())
+
+
+def faults_from_env(environ=os.environ) -> Tuple[Fault, ...]:
+    """Faults requested through :data:`FAULTS_ENV_VAR`."""
+    return parse_faults(environ.get(FAULTS_ENV_VAR))
+
+
+class FaultInjector:
+    """Decides whether a fault fires at a given pipeline point.
+
+    Picklable (carries only the fault tuple) so it can cross the fork
+    boundary into collection workers.
+    """
+
+    def __init__(self, faults: Iterable[Fault] = ()) -> None:
+        self.faults: Tuple[Fault, ...] = tuple(faults)
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def fires(self, kind: str, chunk: int, attempt: int) -> bool:
+        """True when a fault of ``kind`` targets this (chunk, attempt)."""
+        return any(
+            f.kind == kind and f.chunk == chunk and f.attempt == attempt
+            for f in self.faults
+        )
+
+    def active_kinds(self) -> List[str]:
+        """The distinct fault kinds carried, in spec order."""
+        seen: List[str] = []
+        for f in self.faults:
+            if f.kind not in seen:
+                seen.append(f.kind)
+        return seen
+
+
+def damage_truncate(path: str, keep_fraction: float = 0.6) -> None:
+    """Truncate a file to ``keep_fraction`` of its bytes."""
+    size = os.path.getsize(path)
+    with open(path, "rb+") as handle:
+        handle.truncate(max(1, int(size * keep_fraction)))
+
+
+def damage_flip_bytes(path: str, n_bytes: int = 32) -> None:
+    """Invert ``n_bytes`` in the middle of a file."""
+    size = os.path.getsize(path)
+    offset = max(0, size // 2 - n_bytes // 2)
+    with open(path, "rb+") as handle:
+        handle.seek(offset)
+        block = handle.read(n_bytes)
+        handle.seek(offset)
+        handle.write(bytes(b ^ 0xFF for b in block))
+
+
+def apply_worker_damage(
+    injector: FaultInjector, chunk: int, attempt: int, shard_path: str
+) -> None:
+    """Apply post-write worker-side damage faults to a shard file.
+
+    Called by the collection worker *after* it hashed the healthy bytes,
+    so the supervisor's checksum verification is what catches the damage.
+    """
+    if injector.fires("truncate-shard", chunk, attempt):
+        damage_truncate(shard_path)
+    if injector.fires("flip-bytes", chunk, attempt):
+        damage_flip_bytes(shard_path)
+    if injector.fires("duplicate-shard", chunk, attempt):
+        import shutil
+
+        final = shard_path
+        if final.endswith(".pending"):
+            final = final[: -len(".pending")]
+        root, ext = os.path.splitext(final)
+        shutil.copyfile(shard_path, f"{root}-dup{ext}")

@@ -86,15 +86,36 @@ class ShardEntry:
         num_failing: Failing runs in the shard.
         seed_start: Base seed of the shard's first trial (``None`` when
             the shard was appended from pre-collected reports).
+        sha256: Hex digest of the shard file's bytes at commit time, or
+            ``None`` for entries written before digests were recorded.
+            Verified by :meth:`repro.store.shards.ShardStore.audit`.
     """
 
     filename: str
     n_runs: int
     num_failing: int
     seed_start: Optional[int] = None
+    sha256: Optional[str] = None
+
+    @property
+    def seed_range(self) -> Optional[range]:
+        """The half-open trial-seed interval this shard covers."""
+        if self.seed_start is None:
+            return None
+        return range(self.seed_start, self.seed_start + self.n_runs)
+
+    def overlaps(self, other: "ShardEntry") -> bool:
+        """True when both shards are seeded and their ranges intersect."""
+        a, b = self.seed_range, other.seed_range
+        if a is None or b is None:
+            return False
+        return a.start < b.stop and b.start < a.stop
 
     def to_json(self) -> Dict[str, object]:
-        return dataclasses.asdict(self)
+        spec = dataclasses.asdict(self)
+        if spec.get("sha256") is None:
+            del spec["sha256"]  # keep old-manifest byte-compat when absent
+        return spec
 
     @classmethod
     def from_json(cls, spec: Dict[str, object]) -> "ShardEntry":
@@ -104,6 +125,9 @@ class ShardEntry:
             num_failing=int(spec["num_failing"]),
             seed_start=(
                 int(spec["seed_start"]) if spec.get("seed_start") is not None else None
+            ),
+            sha256=(
+                str(spec["sha256"]) if spec.get("sha256") is not None else None
             ),
         )
 
@@ -152,6 +176,20 @@ class ShardManifest:
             e.seed_start + e.n_runs for e in self.shards if e.seed_start is not None
         ]
         return max(ends) if ends else 0
+
+    def find(self, filename: str) -> Optional[ShardEntry]:
+        """The entry for ``filename``, or ``None`` if unregistered."""
+        for entry in self.shards:
+            if entry.filename == filename:
+                return entry
+        return None
+
+    def overlapping(self, entry: ShardEntry) -> Optional[ShardEntry]:
+        """The first registered shard whose seed range intersects ``entry``."""
+        for existing in self.shards:
+            if existing.filename != entry.filename and existing.overlaps(entry):
+                return existing
+        return None
 
     def to_json(self) -> Dict[str, object]:
         return {

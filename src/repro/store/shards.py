@@ -7,6 +7,10 @@ A :class:`ShardStore` wraps a directory laid out as::
       shard-00000000.npz      # format-v2 report archives (core/io.py)
       shard-00000200.npz
       ...
+      collection_log.jsonl    # append-only record of collection events
+      quarantine/             # damaged shards, moved aside with reasons
+        shard-00000400.npz
+        shard-00000400.npz.reason.json
 
 Shards are appended by collection sessions (possibly across machines --
 workers write shards directly, see
@@ -15,20 +19,64 @@ by streaming sufficient statistics (:meth:`ShardStore.sufficient_stats`,
 memory bounded by one predicate-length array set) or by materialising
 the merged population (:meth:`ShardStore.load_merged`) when run-level
 data is needed, e.g. for iterative elimination.
+
+Fault tolerance
+---------------
+
+Collection machines are assumed unreliable (the paper's deployment
+model), so the store follows a write-ahead commit protocol:
+
+1. a shard's bytes are written crash-safely to ``<name>.pending``
+   (temp file + fsync + atomic rename inside
+   :func:`repro.core.io.save_reports`);
+2. the manifest entry -- including the file's SHA-256 -- is appended and
+   the manifest saved atomically: **this is the commit point**;
+3. the pending file is renamed to its final name.
+
+A crash between (1) and (2) leaves an uncommitted ``.pending`` file that
+:meth:`ShardStore.recover` rolls back (deletes); a crash between (2) and
+(3) leaves a committed entry whose bytes sit under the pending name,
+which recovery rolls forward (renames).  No interleaving leaves a
+partially written shard under a committed name.
+
+Damage that slips past collection (bit rot, truncation, deletion) is
+caught by :meth:`ShardStore.audit`, which verifies every committed
+shard's checksum and readability, moves offenders to ``quarantine/``
+with a machine-readable reason file, and reports exactly how many runs
+were lost.  Scores over the surviving shards are bit-identical to a
+clean collection of just those seed ranges -- the sufficient statistics
+are per-shard sums, so dropping a shard drops exactly its runs.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
+import time
+from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Tuple
 
-from repro.core.io import FORMAT_VERSION, load_reports, load_shard_stats, save_reports
+from repro.core.io import (
+    FORMAT_VERSION,
+    ArchiveError,
+    file_sha256,
+    load_reports,
+    load_shard_stats,
+    save_reports,
+)
 from repro.core.predicates import PredicateTable
 from repro.core.reports import ReportSet
 from repro.core.scores import DEFAULT_CONFIDENCE, PredicateScores
 from repro.core.truth import GroundTruth
 from repro.instrument.sampling import SamplingPlan
 from repro.instrument.transform import InstrumentationConfig
+from repro.store.errors import (
+    DuplicateSeedRangeError,
+    ShardCorruptionError,
+    ShardIntegrityError,
+    StaleManifestError,
+)
 from repro.store.incremental import SufficientStats
 from repro.store.manifest import (
     ShardEntry,
@@ -41,10 +89,87 @@ from repro.store.manifest import (
 #: Manifest filename inside a store directory.
 MANIFEST_NAME = "manifest.json"
 
+#: Subdirectory damaged shards are moved into.
+QUARANTINE_DIR = "quarantine"
+
+#: Append-only JSONL record of collection/audit events.
+COLLECTION_LOG_NAME = "collection_log.jsonl"
+
+#: Suffix of written-but-uncommitted shard files.
+PENDING_SUFFIX = ".pending"
+
 
 def shard_filename(seed_start: int) -> str:
     """Canonical shard name for a collection chunk starting at a seed."""
     return f"shard-{seed_start:08d}.npz"
+
+
+def pending_name(filename: str) -> str:
+    """The staging name a shard occupies before its manifest commit."""
+    return filename + PENDING_SUFFIX
+
+
+@dataclass
+class QuarantineRecord:
+    """Why one shard (or manifest entry) was quarantined.
+
+    Attributes:
+        filename: The shard's name relative to the store directory.
+        reason: Machine-readable reason code (``checksum-mismatch``,
+            ``unreadable``, ``table-mismatch``, ``missing-file``,
+            ``duplicate-seed-range``, ``failed-verification``).
+        detail: Human-readable elaboration.
+        n_runs: Runs the store lost with this shard (0 when the shard
+            was never committed).
+        num_failing: Failing runs lost.
+        seed_start: The shard's base seed, when known -- this is the
+            range a later session must re-collect.
+    """
+
+    filename: str
+    reason: str
+    detail: str
+    n_runs: int = 0
+    num_failing: int = 0
+    seed_start: Optional[int] = None
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one :meth:`ShardStore.audit` pass.
+
+    Attributes:
+        checked: Manifest entries examined.
+        quarantined: Entries removed from membership, with reasons.
+        orphans: Shard-like files present in the directory but not in
+            the manifest (never counted, so only reported).
+        rolled_forward: Committed shards recovered from pending names.
+        rolled_back: Uncommitted pending files deleted.
+    """
+
+    checked: int = 0
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
+    orphans: List[str] = field(default_factory=list)
+    rolled_forward: List[str] = field(default_factory=list)
+    rolled_back: List[str] = field(default_factory=list)
+
+    @property
+    def runs_lost(self) -> int:
+        """Exactly how many runs the quarantined shards took with them."""
+        return sum(r.n_runs for r in self.quarantined)
+
+    @property
+    def failing_lost(self) -> int:
+        """Failing runs among :attr:`runs_lost`."""
+        return sum(r.num_failing for r in self.quarantined)
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was quarantined and nothing was orphaned."""
+        return not self.quarantined and not self.orphans
 
 
 class ShardStore:
@@ -148,6 +273,16 @@ class ShardStore:
         return os.path.join(self.directory, MANIFEST_NAME)
 
     @property
+    def quarantine_dir(self) -> str:
+        """Path of the quarantine subdirectory (may not exist yet)."""
+        return os.path.join(self.directory, QUARANTINE_DIR)
+
+    @property
+    def collection_log_path(self) -> str:
+        """Path of the append-only collection event log."""
+        return os.path.join(self.directory, COLLECTION_LOG_NAME)
+
+    @property
     def n_shards(self) -> int:
         """Number of shards registered."""
         return len(self.manifest.shards)
@@ -185,6 +320,27 @@ class ShardStore:
         return self._table
 
     # ------------------------------------------------------------------
+    # Event log
+    # ------------------------------------------------------------------
+    def log_event(self, event: str, **fields: object) -> None:
+        """Append one event record to ``collection_log.jsonl``.
+
+        Each line is a self-contained JSON object with at least ``event``
+        and a wall-clock ``ts``; collection and audit use it to leave a
+        machine-readable trail of attempts, failures and quarantines.
+        """
+        record = {"event": event, "ts": time.time(), **fields}
+        with open(self.collection_log_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def read_log(self) -> List[dict]:
+        """All event records logged so far (empty when no log exists)."""
+        if not os.path.exists(self.collection_log_path):
+            return []
+        with open(self.collection_log_path, "r", encoding="utf-8") as handle:
+            return [json.loads(line) for line in handle if line.strip()]
+
+    # ------------------------------------------------------------------
     # Writing
     # ------------------------------------------------------------------
     def append_shard(
@@ -194,6 +350,11 @@ class ShardStore:
         seed_start: Optional[int] = None,
     ) -> str:
         """Write one shard archive and register it in the manifest.
+
+        Follows the store's commit protocol: the bytes land under a
+        ``.pending`` name first, the manifest append is the commit point,
+        and only then is the shard renamed into place -- an interruption
+        at any step is repaired by :meth:`recover`.
 
         Args:
             reports: The shard's report population; its table signature
@@ -217,13 +378,15 @@ class ShardStore:
         path = os.path.join(self.directory, filename)
         if os.path.exists(path):
             raise FileExistsError(f"shard {filename} already exists in the store")
-        save_reports(path, reports, truth)
-        self.register_shard(
+        staged = path + PENDING_SUFFIX
+        save_reports(staged, reports, truth)
+        self.commit_shard(
             ShardEntry(
                 filename=filename,
                 n_runs=reports.n_runs,
                 num_failing=reports.num_failing,
                 seed_start=seed_start,
+                sha256=file_sha256(staged),
             )
         )
         return path
@@ -234,11 +397,252 @@ class ShardStore:
         Used by the parallel collector, whose workers write shard
         archives directly; the parent only registers the entries (in
         collection order) and rewrites the manifest.
+
+        Raises:
+            ValueError: When ``entry.filename`` is already registered.
+            DuplicateSeedRangeError: When the entry's seed range overlaps
+                a registered shard -- counting both would double-count.
         """
-        if any(e.filename == entry.filename for e in self.manifest.shards):
+        if self.manifest.find(entry.filename) is not None:
             raise ValueError(f"shard {entry.filename} is already registered")
+        clash = self.manifest.overlapping(entry)
+        if clash is not None:
+            raise DuplicateSeedRangeError(
+                f"shard {entry.filename} covers seeds "
+                f"[{entry.seed_start}, {entry.seed_start + entry.n_runs}) which "
+                f"overlaps registered shard {clash.filename} "
+                f"[{clash.seed_start}, {clash.seed_start + clash.n_runs}); "
+                "merging both would double-count runs"
+            )
         self.manifest.shards.append(entry)
         self.manifest.save(self.manifest_path)
+
+    def commit_shard(self, entry: ShardEntry) -> str:
+        """Commit a shard whose bytes sit under its pending name.
+
+        Registers the manifest entry (the commit point) and then renames
+        ``<filename>.pending`` to ``<filename>``.  Safe against crashes
+        at every step; see the module docstring for the protocol.
+
+        Returns:
+            The committed shard's absolute path.
+        """
+        final = os.path.join(self.directory, entry.filename)
+        staged = final + PENDING_SUFFIX
+        if not os.path.exists(staged):
+            raise FileNotFoundError(f"no pending shard at {staged} to commit")
+        self.register_shard(entry)
+        os.replace(staged, final)
+        return final
+
+    # ------------------------------------------------------------------
+    # Recovery, quarantine, audit
+    # ------------------------------------------------------------------
+    def recover(self) -> Tuple[List[str], List[str]]:
+        """Repair interrupted commits; idempotent and cheap.
+
+        Rolls *forward* committed shards still sitting under their
+        pending names (crash after manifest append, before rename) and
+        rolls *back* (deletes) pending files with no manifest entry
+        (crash before the commit point -- their seed range was never
+        counted and will be re-collected).
+
+        Returns:
+            ``(rolled_forward, rolled_back)`` filename lists.
+        """
+        rolled_forward: List[str] = []
+        rolled_back: List[str] = []
+        for entry in self.manifest.shards:
+            final = os.path.join(self.directory, entry.filename)
+            staged = final + PENDING_SUFFIX
+            if not os.path.exists(final) and os.path.exists(staged):
+                os.replace(staged, final)
+                rolled_forward.append(entry.filename)
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(PENDING_SUFFIX):
+                continue
+            final_name = name[: -len(PENDING_SUFFIX)]
+            if self.manifest.find(final_name) is None:
+                os.unlink(os.path.join(self.directory, name))
+                rolled_back.append(name)
+        if rolled_forward or rolled_back:
+            self.log_event(
+                "recover", rolled_forward=rolled_forward, rolled_back=rolled_back
+            )
+        return rolled_forward, rolled_back
+
+    def quarantine_file(
+        self,
+        filename: str,
+        reason: str,
+        detail: str,
+        n_runs: int = 0,
+        num_failing: int = 0,
+        seed_start: Optional[int] = None,
+    ) -> QuarantineRecord:
+        """Move a damaged shard aside with a machine-readable reason.
+
+        The file (when present) lands in ``quarantine/`` under its own
+        name, next to ``<name>.reason.json`` describing why, what seed
+        range was lost, and when.  The manifest is *not* modified here;
+        callers drop the entry themselves (see :meth:`audit`).
+        """
+        record = QuarantineRecord(
+            filename=filename,
+            reason=reason,
+            detail=detail,
+            n_runs=n_runs,
+            num_failing=num_failing,
+            seed_start=seed_start,
+        )
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        source = os.path.join(self.directory, filename)
+        if os.path.exists(source):
+            os.replace(source, os.path.join(self.quarantine_dir, filename))
+        reason_path = os.path.join(self.quarantine_dir, f"{filename}.reason.json")
+        with open(reason_path, "w", encoding="utf-8") as handle:
+            json.dump(
+                {**record.to_json(), "quarantined_at": time.time()},
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        self.log_event("quarantine", filename=filename, reason=reason, detail=detail)
+        return record
+
+    def quarantined(self) -> List[dict]:
+        """The reason records of everything quarantined so far."""
+        records: List[dict] = []
+        if not os.path.isdir(self.quarantine_dir):
+            return records
+        for name in sorted(os.listdir(self.quarantine_dir)):
+            if name.endswith(".reason.json"):
+                with open(
+                    os.path.join(self.quarantine_dir, name), "r", encoding="utf-8"
+                ) as handle:
+                    records.append(json.load(handle))
+        return records
+
+    def verify_entry(self, entry: ShardEntry) -> None:
+        """Check one committed shard's existence, checksum and contents.
+
+        Raises:
+            StaleManifestError: The file is missing.
+            ShardIntegrityError: Checksum or table-signature mismatch, or
+                run counts disagreeing with the manifest entry.
+            ShardCorruptionError: The bytes fail to parse as an archive.
+        """
+        path = os.path.join(self.directory, entry.filename)
+        if not os.path.exists(path):
+            raise StaleManifestError(
+                f"manifest lists {entry.filename} but the file is missing"
+            )
+        if entry.sha256 is not None:
+            actual = file_sha256(path)
+            if actual != entry.sha256:
+                raise ShardIntegrityError(
+                    entry.filename,
+                    f"checksum mismatch: manifest {entry.sha256[:12]}..., "
+                    f"file {actual[:12]}...",
+                )
+        try:
+            F, S, F_obs, S_obs, num_failing, num_successful, table_sha = (
+                load_shard_stats(path)
+            )
+        except ArchiveError as exc:
+            raise ShardCorruptionError(entry.filename, str(exc)) from exc
+        if table_sha is not None and table_sha != self.manifest.table_sha:
+            raise ShardIntegrityError(
+                entry.filename,
+                f"table signature {table_sha[:12]}... does not match "
+                f"manifest {self.manifest.table_sha[:12]}...",
+            )
+        if num_failing + num_successful != entry.n_runs:
+            raise ShardIntegrityError(
+                entry.filename,
+                f"archive holds {num_failing + num_successful} runs, "
+                f"manifest says {entry.n_runs}",
+            )
+
+    def audit(self) -> AuditReport:
+        """Verify every committed shard, quarantining what fails.
+
+        Runs :meth:`recover` first, then checks each manifest entry for
+        existence, checksum, readability, table compatibility, run-count
+        agreement, and seed-range overlap.  Failing entries are dropped
+        from the manifest and their files moved to ``quarantine/``; the
+        report says exactly how many runs were lost with them, which is
+        also the exact seed budget a re-collection needs.  Scoring the
+        surviving shards is bit-identical to a clean collection of just
+        those seed ranges.
+        """
+        report = AuditReport()
+        report.rolled_forward, report.rolled_back = self.recover()
+
+        surviving: List[ShardEntry] = []
+        kept_so_far: List[ShardEntry] = []
+        for entry in self.manifest.shards:
+            report.checked += 1
+            reason: Optional[Tuple[str, str]] = None
+            clash = next((e for e in kept_so_far if e.overlaps(entry)), None)
+            if clash is not None:
+                reason = (
+                    "duplicate-seed-range",
+                    f"seed range overlaps earlier shard {clash.filename}",
+                )
+            else:
+                try:
+                    self.verify_entry(entry)
+                except StaleManifestError as exc:
+                    reason = ("missing-file", str(exc))
+                except ShardCorruptionError as exc:
+                    reason = ("unreadable", exc.detail)
+                except ShardIntegrityError as exc:
+                    code = (
+                        "checksum-mismatch"
+                        if "checksum" in exc.detail
+                        else "table-mismatch"
+                        if "table signature" in exc.detail
+                        else "count-mismatch"
+                    )
+                    reason = (code, exc.detail)
+            if reason is None:
+                surviving.append(entry)
+                kept_so_far.append(entry)
+            else:
+                report.quarantined.append(
+                    self.quarantine_file(
+                        entry.filename,
+                        reason[0],
+                        reason[1],
+                        n_runs=entry.n_runs,
+                        num_failing=entry.num_failing,
+                        seed_start=entry.seed_start,
+                    )
+                )
+
+        if report.quarantined:
+            self.manifest.shards = surviving
+            self.manifest.save(self.manifest_path)
+
+        registered = {e.filename for e in self.manifest.shards}
+        for name in sorted(os.listdir(self.directory)):
+            if (
+                name.startswith("shard-")
+                and name.endswith(".npz")
+                and name not in registered
+            ):
+                report.orphans.append(name)
+        if not report.clean:
+            self.log_event(
+                "audit",
+                checked=report.checked,
+                quarantined=[r.filename for r in report.quarantined],
+                orphans=report.orphans,
+                runs_lost=report.runs_lost,
+            )
+        return report
 
     # ------------------------------------------------------------------
     # Reading
@@ -247,9 +651,22 @@ class ShardStore:
         """Yield ``(reports, truth)`` per shard, in collection order.
 
         Peak memory is one shard at a time.
+
+        Raises:
+            StaleManifestError: A committed shard file is missing.
+            ShardCorruptionError: A shard's bytes fail to parse; run
+                :meth:`audit` to quarantine it and continue without.
         """
-        for path in self.shard_paths():
-            yield load_reports(path)
+        for entry, path in zip(self.manifest.shards, self.shard_paths()):
+            if not os.path.exists(path):
+                raise StaleManifestError(
+                    f"manifest lists {entry.filename} but the file is missing; "
+                    "run audit() to quarantine it"
+                )
+            try:
+                yield load_reports(path)
+            except ArchiveError as exc:
+                raise ShardCorruptionError(entry.filename, str(exc)) from exc
 
     def load_merged(self) -> Tuple[ReportSet, Optional[GroundTruth]]:
         """Materialise the whole population (all shards concatenated).
@@ -278,19 +695,35 @@ class ShardStore:
         arrays per shard -- the run-by-predicate matrices are never
         reconstructed, so parent memory is bounded by one predicate-length
         array set regardless of how many runs the store holds.
+
+        Raises:
+            StaleManifestError: A committed shard file is missing.
+            ShardCorruptionError: A shard's bytes fail to parse.
+            ShardIntegrityError: A shard carries a different predicate
+                table than the manifest.  In all three cases,
+                :meth:`audit` quarantines the offender so a retry
+                proceeds over the survivors.
         """
         if not self.manifest.shards:
             raise ValueError("cannot score an empty shard store")
         total: Optional[SufficientStats] = None
-        for path in self.shard_paths():
-            F, S, F_obs, S_obs, num_failing, num_successful, table_sha = (
-                load_shard_stats(path)
-            )
+        for entry, path in zip(self.manifest.shards, self.shard_paths()):
+            if not os.path.exists(path):
+                raise StaleManifestError(
+                    f"manifest lists {entry.filename} but the file is missing; "
+                    "run audit() to quarantine it"
+                )
+            try:
+                F, S, F_obs, S_obs, num_failing, num_successful, table_sha = (
+                    load_shard_stats(path)
+                )
+            except ArchiveError as exc:
+                raise ShardCorruptionError(entry.filename, str(exc)) from exc
             if table_sha is not None and table_sha != self.manifest.table_sha:
-                raise ValueError(
-                    f"shard {os.path.basename(path)} carries table signature "
-                    f"{table_sha[:12]}..., manifest expects "
-                    f"{self.manifest.table_sha[:12]}..."
+                raise ShardIntegrityError(
+                    entry.filename,
+                    f"carries table signature {table_sha[:12]}..., manifest "
+                    f"expects {self.manifest.table_sha[:12]}...",
                 )
             part = SufficientStats(
                 F=F,

@@ -164,3 +164,67 @@ class TestCollectCommand:
             ]
 
         assert predictor_lines(store_out) == predictor_lines(mono_out)
+
+
+class TestFaultInjectionCLI:
+    def _collect(self, store_dir, *extra):
+        return main(
+            [
+                "collect", "--subject", "ccrypt", "--runs", "90",
+                "--sampling", "full", "--out", str(store_dir),
+                "--jobs", "2", "--chunk-size", "30", "--seed", "0",
+                *extra,
+            ]
+        )
+
+    def test_inject_fault_requires_testing_flag(self, capsys, tmp_path):
+        code = self._collect(tmp_path / "store", "--inject-fault", "kill-worker@0")
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--testing" in err
+        assert not (tmp_path / "store").exists()
+
+    def test_collect_survives_injected_faults(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        code = self._collect(
+            store_dir,
+            "--testing",
+            "--inject-fault", "kill-worker@1",
+            "--inject-fault", "flip-bytes@2",
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "2 retries" in captured.err
+        assert "1 dead workers" in captured.err
+        assert "1 corrupt shards quarantined" in captured.err
+        assert "3 shards, 90 runs" in captured.out
+        assert (store_dir / "quarantine").is_dir()
+
+        assert main(["analyze", str(store_dir), "--stats-only"]) == 0
+        out = capsys.readouterr().out
+        assert "Importance" in out
+
+    def test_analyze_audit_reports_post_commit_loss(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert (
+            self._collect(
+                store_dir, "--testing", "--inject-fault", "stale-manifest@1"
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["analyze", str(store_dir), "--stats-only"]) == 0
+        captured = capsys.readouterr()
+        assert "quarantined shard-00000030.npz [missing-file]" in captured.err
+        assert "30 of 90 runs lost to quarantine" in captured.err
+        assert "60 surviving runs" in captured.err
+        assert "Importance" in captured.out
+
+    def test_analyze_no_audit_surfaces_typed_error(self, capsys, tmp_path):
+        from repro.store import StaleManifestError
+
+        store_dir = tmp_path / "store"
+        self._collect(store_dir, "--testing", "--inject-fault", "stale-manifest@1")
+        capsys.readouterr()
+        with pytest.raises(StaleManifestError, match="audit"):
+            main(["analyze", str(store_dir), "--stats-only", "--no-audit"])

@@ -1,5 +1,6 @@
 """Tests for the parallel trial runner and the direct-to-disk shard writers."""
 
+import os
 import tracemalloc
 
 import numpy as np
@@ -9,6 +10,7 @@ from repro.harness.parallel import run_trials_parallel, run_trials_sharded
 from repro.harness.runner import collect_site_means, run_trials
 from repro.instrument.sampling import SamplingPlan
 from repro.instrument.tracer import instrument_source
+from repro.store import CollectionError, Fault, ShardStore
 
 from tests.harness.test_runner import TinySubject
 
@@ -194,3 +196,156 @@ class TestShardedCollection:
         # dominant parent allocation (instrumenting the subject for the
         # manifest's table) is constant in n_runs.
         assert large < small * 3 + 256 * 1024, (small, large)
+
+
+def _collect(store_dir, faults=(), n_runs=60, **kwargs):
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("chunk_size", 20)
+    kwargs.setdefault("backoff_base", 0.01)
+    return run_trials_sharded(
+        TinySubject(),
+        n_runs,
+        SamplingPlan.full(),
+        str(store_dir),
+        seed=0,
+        faults=faults,
+        **kwargs,
+    )
+
+
+class TestSupervision:
+    """Worker death, hangs, and in-transit corruption are detected and
+    repaired by re-running the chunk's seed range."""
+
+    def test_killed_worker_detected_and_retried(self, tmp_path):
+        store = _collect(tmp_path / "s", faults=(Fault("kill-worker", chunk=0),))
+        report = store.last_collection
+        assert report.worker_deaths == 1 and report.retries == 1
+        assert store.n_runs == 60 and store.n_shards == 3
+        failed = [e for e in store.read_log() if e["event"] == "chunk-failed"]
+        assert [e["reason"] for e in failed] == ["worker-died"]
+        assert failed[0]["seed_start"] == 0
+
+    def test_hung_worker_killed_at_timeout_and_retried(self, tmp_path):
+        store = _collect(
+            tmp_path / "s",
+            faults=(Fault("hang-worker", chunk=1),),
+            chunk_timeout=1.0,
+        )
+        report = store.last_collection
+        assert report.timeouts == 1 and report.retries == 1
+        assert store.n_runs == 60
+        failed = [e for e in store.read_log() if e["event"] == "chunk-failed"]
+        assert [e["reason"] for e in failed] == ["timeout"]
+
+    def test_truncated_shard_quarantined_and_retried(self, tmp_path):
+        store = _collect(tmp_path / "s", faults=(Fault("truncate-shard", chunk=2),))
+        report = store.last_collection
+        assert report.corrupt_shards == 1
+        assert report.quarantined == ["shard-00000040.npz.pending"]
+        assert store.n_runs == 60  # retried range re-collected in full
+        records = store.quarantined()
+        assert [r["reason"] for r in records] == ["failed-verification"]
+        assert records[0]["seed_start"] == 40
+
+    def test_retry_backoff_grows_exponentially(self, tmp_path):
+        faults = (
+            Fault("kill-worker", chunk=0, attempt=0),
+            Fault("kill-worker", chunk=0, attempt=1),
+        )
+        store = _collect(
+            tmp_path / "s", faults=faults, n_runs=20, max_attempts=4
+        )
+        retries = [e for e in store.read_log() if e["event"] == "chunk-retry"]
+        assert [e["attempt"] for e in retries] == [1, 2]
+        assert retries[1]["backoff"] == pytest.approx(2 * retries[0]["backoff"])
+
+    def test_persistent_failure_raises_collection_error(self, tmp_path):
+        faults = tuple(
+            Fault("kill-worker", chunk=0, attempt=a) for a in range(3)
+        )
+        with pytest.raises(CollectionError, match=r"seeds \[0, 20\)") as info:
+            _collect(tmp_path / "s", faults=faults, max_attempts=3)
+        assert info.value.seed_start == 0
+        assert info.value.count == 20
+        assert info.value.attempts == 3
+        # Whatever committed before the failure is still a valid store.
+        store = ShardStore.open(str(tmp_path / "s"))
+        assert store.audit().quarantined == []
+
+    def test_collection_log_records_lifecycle(self, tmp_path):
+        store = _collect(tmp_path / "s", n_runs=40)
+        events = [e["event"] for e in store.read_log()]
+        assert events[0] == "session-start"
+        assert events[-1] == "session-end"
+        assert events.count("chunk-start") == 2
+        assert events.count("chunk-done") == 2
+        assert events.count("commit") == 2
+        assert all("ts" in e for e in store.read_log())
+
+    def test_uncommitted_leftover_shard_reclaimed(self, tmp_path):
+        """A shard file with no manifest entry (a session that died
+        between the worker's write and the commit) must not block -- or
+        leak into -- a later session covering the same seed range."""
+        store_dir = tmp_path / "s"
+        _collect(store_dir, n_runs=20, chunk_size=20)
+        leftover = os.path.join(str(store_dir), "shard-00000020.npz")
+        with open(leftover, "wb") as fh:
+            fh.write(b"stale bytes from a dead session")
+
+        store = run_trials_sharded(
+            TinySubject(),
+            20,
+            SamplingPlan.full(),
+            str(store_dir),
+            seed=20,
+            jobs=1,
+            chunk_size=20,
+        )
+        assert store.n_runs == 40
+        assert "reclaim-uncommitted" in [e["event"] for e in store.read_log()]
+        merged, _ = store.load_merged()
+        assert [m["seed"] for m in merged.metas] == list(range(40))
+        assert store.audit().clean
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize(
+        "kind",
+        ["kill-worker", "hang-worker", "truncate-shard", "flip-bytes", "duplicate-shard"],
+    )
+    def test_every_worker_fault_recovers(self, tmp_path, kind):
+        """Exhaustive fault matrix (slow lane): every worker-side fault
+        kind is survived with the full population collected."""
+        store = _collect(
+            tmp_path / kind,
+            faults=(Fault(kind, chunk=1),),
+            chunk_timeout=1.0 if kind == "hang-worker" else None,
+        )
+        assert store.n_runs == 60
+        assert store.audit().quarantined == []
+        merged, _ = store.load_merged()
+        assert [m["seed"] for m in merged.metas] == list(range(60))
+
+    def test_faulted_run_merges_identical_to_serial(self, tmp_path):
+        """The supervision loop must not perturb the population: a
+        collection that survived a kill and a corruption merges
+        bit-identical to the serial runner."""
+        subject = TinySubject()
+        program = instrument_source(subject.source(), subject.name)
+        plan = SamplingPlan.uniform(0.3)
+        serial_reports, serial_truth = run_trials(subject, program, 60, plan, seed=0)
+        store = run_trials_sharded(
+            subject,
+            60,
+            plan,
+            str(tmp_path / "s"),
+            seed=0,
+            jobs=2,
+            chunk_size=20,
+            backoff_base=0.01,
+            faults=(Fault("kill-worker", chunk=1), Fault("flip-bytes", chunk=2)),
+        )
+        merged_reports, merged_truth = store.load_merged()
+        _assert_populations_identical(
+            merged_reports, merged_truth, serial_reports, serial_truth
+        )

@@ -1,0 +1,100 @@
+"""Differential testing: instrumentation must preserve semantics.
+
+For every registered subject, the instrumented program and the plain
+(un-instrumented) source are executed over the same randomized input
+corpus; outputs, exception types, oracle verdicts and recorded
+ground-truth bugs must be identical.  This pins the transformer's
+"helpers return their wrapped value unchanged" contract on real subject
+code, not just synthetic snippets -- and it must hold under sampling
+too, since skipped observations may not change behaviour either.
+"""
+
+import random
+
+import pytest
+
+from repro.cli import SUBJECTS
+from repro.instrument.sampling import SamplingPlan
+from repro.instrument.tracer import instrument_source
+from repro.subjects import base as subject_base
+
+#: Inputs per subject; seeds are fixed so failures are reproducible.
+_CORPUS_SIZE = 20
+
+
+def _run_plain(subject, entry, trial_input):
+    """Execute the un-instrumented source on one input."""
+    subject_base.begin_truth_capture()
+    try:
+        output = entry(trial_input)
+    except Exception as exc:
+        return ("raised", type(exc).__name__, subject_base.end_truth_capture())
+    bugs = subject_base.end_truth_capture()
+    return ("returned", repr(output), subject.oracle(trial_input, output), bugs)
+
+
+def _run_instrumented(subject, program, plan, trial_input, seed):
+    """Execute the instrumented program on one input under ``plan``."""
+    entry = program.func(subject.entry)
+    subject_base.begin_truth_capture()
+    program.begin_run(plan, seed=seed)
+    try:
+        output = entry(trial_input)
+    except Exception as exc:
+        program.end_run()
+        return ("raised", type(exc).__name__, subject_base.end_truth_capture())
+    program.end_run()
+    bugs = subject_base.end_truth_capture()
+    return ("returned", repr(output), subject.oracle(trial_input, output), bugs)
+
+
+def _plain_namespace(subject):
+    namespace = {"__name__": f"plain_{subject.name}"}
+    exec(compile(subject.source(), f"<plain {subject.name}>", "exec"), namespace)
+    return namespace
+
+
+@pytest.mark.parametrize("name", sorted(SUBJECTS))
+def test_instrumented_execution_identical_to_plain(name):
+    subject = SUBJECTS[name]()
+    plain_entry = _plain_namespace(subject)[subject.entry]
+    program = instrument_source(subject.source(), subject.name)
+    plan = SamplingPlan.full()
+
+    mismatches = []
+    for i in range(_CORPUS_SIZE):
+        trial_input = subject.generate_input(random.Random(1000 + i))
+        plain = _run_plain(subject, plain_entry, trial_input)
+        instrumented = _run_instrumented(subject, program, plan, trial_input, i + 1)
+        if plain != instrumented:
+            mismatches.append((i, plain, instrumented))
+    assert not mismatches, mismatches
+
+
+@pytest.mark.parametrize("name", sorted(SUBJECTS))
+def test_semantics_preserved_under_sampling(name):
+    """Sampling only skips observations; it must never change behaviour
+    or which bugs occur."""
+    subject = SUBJECTS[name]()
+    plain_entry = _plain_namespace(subject)[subject.entry]
+    program = instrument_source(subject.source(), subject.name)
+    plan = SamplingPlan.uniform(0.1)
+
+    for i in range(_CORPUS_SIZE // 2):
+        trial_input = subject.generate_input(random.Random(2000 + i))
+        plain = _run_plain(subject, plain_entry, trial_input)
+        instrumented = _run_instrumented(subject, program, plan, trial_input, i + 1)
+        assert instrumented == plain, (i, plain, instrumented)
+
+
+@pytest.mark.parametrize("name", sorted(SUBJECTS))
+def test_corpus_exercises_both_outcomes(name):
+    """The differential comparison is only convincing if the corpus
+    actually covers both crashing and passing runs for every subject."""
+    subject = SUBJECTS[name]()
+    plain_entry = _plain_namespace(subject)[subject.entry]
+    outcomes = set()
+    for i in range(_CORPUS_SIZE):
+        trial_input = subject.generate_input(random.Random(1000 + i))
+        outcomes.add(_run_plain(subject, plain_entry, trial_input)[0])
+    assert outcomes == {"raised", "returned"}

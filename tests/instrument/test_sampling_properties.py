@@ -1,0 +1,211 @@
+"""Property-based tests for the sampling machinery.
+
+Two families of properties:
+
+* the geometric-countdown sampler is *distributionally equivalent* to
+  per-opportunity Bernoulli coin flips (the paper's "each potential
+  sample is taken or skipped randomly and independently"), and the
+  countdown implementation inside :class:`Runtime` is *exactly*
+  equivalent to drawing geometric gaps from the same RNG stream;
+* sampler state round-trips through
+  :meth:`Runtime.sampler_state`/:meth:`restore_sampler_state`, so the
+  take/skip decision stream survives an arbitrary split point -- the
+  in-process analogue of a shard boundary, and the determinism contract
+  the fault-tolerant collector's retries lean on.
+
+All statistical assertions use a deterministic RNG derived from
+hypothesis-chosen seeds plus generous (many-sigma) bounds, so the suite
+is reproducible and flake-free.
+"""
+
+import math
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.instrument.runtime import Runtime  # noqa: E402
+from repro.instrument.sampling import SamplingPlan, geometric_gap  # noqa: E402
+
+from tests.helpers import make_table  # noqa: E402
+
+pytestmark = pytest.mark.property
+
+#: Shared hypothesis profile: deterministic, no deadline (statistical
+#: examples do real simulation work), modest example counts.
+_SETTINGS = dict(derandomize=True, deadline=None)
+
+_rates = st.floats(min_value=0.02, max_value=1.0, allow_nan=False)
+_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _mean(xs):
+    return sum(xs) / len(xs)
+
+
+class TestGeometricEquivalence:
+    @settings(max_examples=25, **_SETTINGS)
+    @given(rate=_rates, seed=_seeds)
+    def test_gap_mean_matches_bernoulli_waiting_time(self, rate, seed):
+        """E[gap] = 1/rate, within many standard errors."""
+        rng = random.Random(seed)
+        m = 4000
+        gaps = [geometric_gap(rate, rng.random()) for _ in range(m)]
+        # Var(Geometric(rate)) = (1-rate)/rate^2.
+        se = math.sqrt(1.0 - rate) / rate / math.sqrt(m)
+        assert abs(_mean(gaps) - 1.0 / rate) < 7 * se + 1e-9
+
+    @settings(max_examples=25, **_SETTINGS)
+    @given(rate=_rates, seed=_seeds)
+    def test_gap_distribution_matches_direct_coin_flips(self, rate, seed):
+        """Gaps drawn by inverse-CDF match gaps of a literal Bernoulli
+        scan: same mean and same per-bucket probabilities
+        P(gap = k) = rate * (1-rate)^(k-1)."""
+        m = 4000
+        rng = random.Random(seed)
+        gaps = [geometric_gap(rate, rng.random()) for _ in range(m)]
+        flip = random.Random(seed + 1)
+        direct = []
+        for _ in range(m):
+            k = 1
+            while flip.random() >= rate:
+                k += 1
+            direct.append(k)
+
+        se_mean = math.sqrt(1.0 - rate) / rate / math.sqrt(m)
+        assert abs(_mean(gaps) - _mean(direct)) < 10 * se_mean + 1e-9
+        for k in (1, 2, 3):
+            p = rate * (1.0 - rate) ** (k - 1)
+            se_p = math.sqrt(p * (1.0 - p) / m)
+            for sample in (gaps, direct):
+                phat = sum(1 for g in sample if g == k) / m
+                assert abs(phat - p) < 7 * se_p + 1e-9
+
+    @settings(max_examples=50, **_SETTINGS)
+    @given(rate=_rates, u=st.floats(min_value=1e-12, max_value=1.0, exclude_max=True))
+    def test_gap_is_at_least_one(self, rate, u):
+        assert geometric_gap(rate, u) >= 1
+
+    @settings(max_examples=20, **_SETTINGS)
+    @given(u=st.floats(min_value=0.0, max_value=1.0, exclude_max=True))
+    def test_rate_one_always_samples(self, u):
+        assert geometric_gap(1.0, u) == 1
+
+    @settings(max_examples=25, **_SETTINGS)
+    @given(rate=_rates, seed=_seeds, n=st.integers(min_value=1, max_value=400))
+    def test_runtime_countdown_equals_gap_stream(self, rate, seed, n):
+        """The uniform-mode countdown in Runtime produces exactly the
+        take/skip stream implied by drawing geometric gaps from the same
+        RNG -- the countdown is an implementation of the gap draw, not an
+        approximation of it."""
+        runtime = Runtime(make_table(1))
+        runtime.begin_run(SamplingPlan.uniform(rate), seed=seed)
+        stream = [runtime._take(0) for _ in range(n)]
+
+        rng = random.Random(seed)
+        expected = []
+        gap = geometric_gap(rate, rng.random())
+        for _ in range(n):
+            gap -= 1
+            if gap > 0:
+                expected.append(False)
+            else:
+                expected.append(True)
+                gap = geometric_gap(rate, rng.random())
+        assert stream == expected
+
+
+class TestSamplerStateRoundTrip:
+    """Countdown state survives an arbitrary split point: restoring a
+    snapshot into a *different* Runtime instance continues the decision
+    stream exactly where the original would have."""
+
+    @settings(max_examples=25, **_SETTINGS)
+    @given(
+        rate=_rates,
+        seed=_seeds,
+        n=st.integers(min_value=2, max_value=300),
+        data=st.data(),
+    )
+    def test_uniform_stream_survives_split(self, rate, seed, n, data):
+        split = data.draw(st.integers(min_value=0, max_value=n))
+        reference = Runtime(make_table(1))
+        reference.begin_run(SamplingPlan.uniform(rate), seed=seed)
+        whole = [reference._take(0) for _ in range(n)]
+
+        first = Runtime(make_table(1))
+        first.begin_run(SamplingPlan.uniform(rate), seed=seed)
+        head = [first._take(0) for _ in range(split)]
+        snapshot = first.sampler_state()
+
+        second = Runtime(make_table(1))
+        second.begin_run(SamplingPlan.uniform(rate), seed=seed + 12345)
+        second.restore_sampler_state(snapshot)
+        tail = [second._take(0) for _ in range(n - split)]
+        assert head + tail == whole
+
+    @settings(max_examples=20, **_SETTINGS)
+    @given(
+        seed=_seeds,
+        n=st.integers(min_value=2, max_value=200),
+        rates=st.lists(_rates, min_size=2, max_size=4),
+        data=st.data(),
+    )
+    def test_per_site_stream_survives_split(self, seed, n, rates, data):
+        split = data.draw(st.integers(min_value=0, max_value=n))
+        n_sites = len(rates)
+        plan = SamplingPlan.per_site(rates)
+        # The visit order exercises interleaved per-site countdowns.
+        site_rng = random.Random(seed ^ 0x5EED)
+        visits = [site_rng.randrange(n_sites) for _ in range(n)]
+
+        reference = Runtime(make_table(n_sites))
+        reference.begin_run(plan, seed=seed)
+        whole = [reference._take(s) for s in visits]
+
+        first = Runtime(make_table(n_sites))
+        first.begin_run(plan, seed=seed)
+        head = [first._take(s) for s in visits[:split]]
+        snapshot = first.sampler_state()
+
+        second = Runtime(make_table(n_sites))
+        second.begin_run(plan, seed=seed + 999)
+        second.restore_sampler_state(snapshot)
+        tail = [second._take(s) for s in visits[split:]]
+        assert head + tail == whole
+
+    @settings(max_examples=10, **_SETTINGS)
+    @given(seed=_seeds)
+    def test_full_mode_round_trips(self, seed):
+        runtime = Runtime(make_table(1))
+        runtime.begin_run(SamplingPlan.full(), seed=seed)
+        snapshot = runtime.sampler_state()
+        assert snapshot["kind"] == "full"
+        other = Runtime(make_table(1))
+        other.begin_run(SamplingPlan.uniform(0.5), seed=seed)
+        other.restore_sampler_state(snapshot)
+        assert all(other._take(0) for _ in range(50))
+
+    @settings(max_examples=15, **_SETTINGS)
+    @given(rate=_rates, seed=_seeds)
+    def test_snapshot_does_not_disturb_counters(self, rate, seed):
+        """Snapshotting and restoring is observation-neutral: only the
+        sampling side moves, never the counters."""
+        runtime = Runtime(make_table(1))
+        runtime.begin_run(SamplingPlan.uniform(rate), seed=seed)
+        for _ in range(20):
+            runtime.branch(0, True)
+        before = runtime.end_run()
+        runtime.restore_sampler_state(runtime.sampler_state())
+        assert runtime.end_run() == before
+
+    def test_unknown_snapshot_kind_rejected(self):
+        runtime = Runtime(make_table(1))
+        runtime.begin_run(SamplingPlan.full(), seed=0)
+        snapshot = runtime.sampler_state()
+        snapshot["kind"] = "quantum"
+        with pytest.raises(ValueError, match="unknown sampler kind"):
+            runtime.restore_sampler_state(snapshot)

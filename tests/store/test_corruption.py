@@ -1,0 +1,452 @@
+"""Corruption-handling tests: archive-loader fuzzing, the commit
+protocol's crash windows, audit reason codes, and fault-spec parsing.
+
+Every way a shard directory can be damaged must surface as a typed error
+or a quarantine record -- never a silent mis-count.
+"""
+
+import dataclasses
+import json
+import os
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.core.io import (
+    ArchiveCorruptError,
+    ArchiveError,
+    ArchiveVersionError,
+    file_sha256,
+    load_reports,
+    load_shard_stats,
+    save_reports,
+)
+from repro.instrument.sampling import SamplingPlan
+from repro.store import (
+    DuplicateSeedRangeError,
+    Fault,
+    FaultInjector,
+    ShardCorruptionError,
+    ShardIntegrityError,
+    ShardStore,
+    StaleManifestError,
+    StoreError,
+    SufficientStats,
+    faults_from_env,
+    parse_faults,
+)
+from repro.store.faults import damage_flip_bytes, damage_truncate, parse_fault
+from repro.store.manifest import ShardEntry
+from repro.store.shards import PENDING_SUFFIX, shard_filename
+
+from tests.helpers import make_reports
+from tests.store.test_store import _population, _split
+
+
+def _build_store(tmp_path, k=3, n_runs=24, n_preds=4, seed=0):
+    """A store of ``k`` seeded shards plus the monolithic population."""
+    whole = _population(n_preds=n_preds, n_runs=n_runs, seed=seed)
+    store = ShardStore.create(
+        str(tmp_path / "store"), "synthetic", whole.table, SamplingPlan.full()
+    )
+    offset = 0
+    for part in _split(whole, k):
+        store.append_shard(part, seed_start=offset)
+        offset += part.n_runs
+    return store, whole
+
+
+def _shard_stats(path):
+    F, S, F_obs, S_obs, nf, ns, _ = load_shard_stats(path)
+    return SufficientStats(F, S, F_obs, S_obs, nf, ns)
+
+
+def _assert_stats_equal(a, b):
+    np.testing.assert_array_equal(a.F, b.F)
+    np.testing.assert_array_equal(a.S, b.S)
+    np.testing.assert_array_equal(a.F_obs, b.F_obs)
+    np.testing.assert_array_equal(a.S_obs, b.S_obs)
+    assert a.num_failing == b.num_failing
+    assert a.num_successful == b.num_successful
+
+
+class TestLoaderFuzz:
+    """The archive loader must turn every damage class into a typed error."""
+
+    def _archive(self, tmp_path, n_runs=12):
+        whole = _population(n_runs=n_runs)
+        path = str(tmp_path / "reports.npz")
+        save_reports(path, whole)
+        return path
+
+    @pytest.mark.parametrize("loader", [load_reports, load_shard_stats])
+    def test_truncated_archive(self, tmp_path, loader):
+        path = self._archive(tmp_path)
+        damage_truncate(path, keep_fraction=0.5)
+        with pytest.raises(ArchiveCorruptError):
+            loader(path)
+
+    @pytest.mark.parametrize("loader", [load_reports, load_shard_stats])
+    def test_flipped_bytes(self, tmp_path, loader):
+        path = self._archive(tmp_path)
+        # Invert nearly the whole body so every member is damaged.
+        damage_flip_bytes(path, n_bytes=os.path.getsize(path) - 64)
+        with pytest.raises(ArchiveCorruptError):
+            loader(path)
+
+    @pytest.mark.parametrize("loader", [load_reports, load_shard_stats])
+    def test_garbage_bytes(self, tmp_path, loader):
+        path = str(tmp_path / "junk.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"this is not a zip archive at all" * 8)
+        with pytest.raises(ArchiveCorruptError):
+            loader(path)
+
+    @pytest.mark.parametrize("loader", [load_reports, load_shard_stats])
+    def test_empty_file(self, tmp_path, loader):
+        path = str(tmp_path / "empty.npz")
+        open(path, "wb").close()
+        with pytest.raises(ArchiveCorruptError):
+            loader(path)
+
+    @pytest.mark.parametrize("loader", [load_reports, load_shard_stats])
+    def test_missing_file(self, tmp_path, loader):
+        with pytest.raises(FileNotFoundError):
+            loader(str(tmp_path / "absent.npz"))
+
+    @pytest.mark.parametrize("loader", [load_reports, load_shard_stats])
+    def test_unsupported_version(self, tmp_path, loader):
+        path = str(tmp_path / "future.npz")
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, format_version=np.asarray([99]))
+        with pytest.raises(ArchiveVersionError, match="version 99"):
+            loader(path)
+
+    def test_typed_errors_remain_value_errors(self):
+        """Back-compat: pre-existing callers catch ValueError."""
+        assert issubclass(ArchiveError, ValueError)
+        assert issubclass(ArchiveCorruptError, ArchiveError)
+        assert issubclass(ArchiveVersionError, ArchiveError)
+
+    def test_corruption_cause_is_preserved(self, tmp_path):
+        path = self._archive(tmp_path)
+        damage_truncate(path, keep_fraction=0.3)
+        with pytest.raises(ArchiveCorruptError) as info:
+            load_reports(path)
+        assert info.value.__cause__ is not None
+
+
+class TestCommitProtocol:
+    """The manifest append is the commit point; every crash window on
+    either side of it is repaired by recover()."""
+
+    def test_crash_before_commit_rolls_back(self, tmp_path):
+        store, whole = _build_store(tmp_path)
+        staged = os.path.join(store.directory, shard_filename(99) + PENDING_SUFFIX)
+        save_reports(staged, _population(n_runs=4, seed=9))
+
+        reopened = ShardStore.open(store.directory)
+        forward, back = reopened.recover()
+        assert forward == []
+        assert back == [shard_filename(99) + PENDING_SUFFIX]
+        assert not os.path.exists(staged)
+        assert reopened.n_runs == whole.n_runs  # range was never counted
+
+    def test_crash_after_commit_rolls_forward(self, tmp_path):
+        store, whole = _build_store(tmp_path, n_runs=24)
+        part = _population(n_runs=4, seed=9)
+        filename = shard_filename(24)
+        staged = os.path.join(store.directory, filename + PENDING_SUFFIX)
+        save_reports(staged, part)
+        # Simulate dying between the manifest append and the rename.
+        store.register_shard(
+            ShardEntry(
+                filename=filename,
+                n_runs=part.n_runs,
+                num_failing=part.num_failing,
+                seed_start=24,
+                sha256=file_sha256(staged),
+            )
+        )
+
+        reopened = ShardStore.open(store.directory)
+        forward, back = reopened.recover()
+        assert forward == [filename] and back == []
+        assert os.path.exists(os.path.join(store.directory, filename))
+        assert not os.path.exists(staged)
+        assert reopened.audit().clean
+        assert reopened.n_runs == whole.n_runs + part.n_runs
+
+    def test_interrupted_append_never_counts(self, tmp_path, monkeypatch):
+        """An append that dies at the commit point leaves the store's
+        counts unchanged and only an uncommitted pending file behind."""
+        store, whole = _build_store(tmp_path)
+
+        def crash(entry):
+            raise RuntimeError("simulated crash at the commit point")
+
+        monkeypatch.setattr(store, "register_shard", crash)
+        with pytest.raises(RuntimeError, match="commit point"):
+            store.append_shard(_population(n_runs=4, seed=5), seed_start=24)
+        monkeypatch.undo()
+
+        reopened = ShardStore.open(store.directory)
+        assert reopened.n_runs == whole.n_runs
+        _, back = reopened.recover()
+        assert back == [shard_filename(24) + PENDING_SUFFIX]
+        # The seed range is free again: the append can simply be retried.
+        reopened._table = whole.table
+        reopened.append_shard(_population(n_runs=4, seed=5), seed_start=24)
+        assert reopened.n_runs == whole.n_runs + 4
+
+    def test_commit_without_pending_file_rejected(self, tmp_path):
+        store, _ = _build_store(tmp_path)
+        with pytest.raises(FileNotFoundError, match="pending"):
+            store.commit_shard(
+                ShardEntry(filename=shard_filename(99), n_runs=1, num_failing=0)
+            )
+
+    def test_recover_is_idempotent(self, tmp_path):
+        store, _ = _build_store(tmp_path)
+        assert store.recover() == ([], [])
+        assert store.recover() == ([], [])
+
+    def test_overlapping_registration_rejected(self, tmp_path):
+        store, _ = _build_store(tmp_path, k=3, n_runs=24)  # shards at 0, 8, 16
+        with pytest.raises(DuplicateSeedRangeError, match="double-count"):
+            store.append_shard(_population(n_runs=8, seed=2), seed_start=4)
+
+    def test_store_errors_share_a_base(self):
+        for exc in (
+            ShardCorruptionError("f", "d"),
+            ShardIntegrityError("f", "d"),
+            DuplicateSeedRangeError("d"),
+            StaleManifestError("d"),
+        ):
+            assert isinstance(exc, StoreError)
+
+
+class TestAuditQuarantine:
+    """audit() turns every damage class into the right reason code and
+    scoring over the survivors stays exact."""
+
+    def test_flipped_shard_quarantined_by_checksum(self, tmp_path):
+        store, _ = _build_store(tmp_path)
+        paths = store.shard_paths()
+        survivors = _shard_stats(paths[0]).add(_shard_stats(paths[2]))
+        damage_flip_bytes(paths[1], n_bytes=32)
+
+        report = store.audit()
+        assert [r.reason for r in report.quarantined] == ["checksum-mismatch"]
+        assert report.runs_lost == 8
+        assert store.n_shards == 2
+        name = os.path.basename(paths[1])
+        assert os.path.exists(os.path.join(store.quarantine_dir, name))
+        assert not os.path.exists(paths[1])
+        _assert_stats_equal(store.sufficient_stats(), survivors)
+
+    def test_missing_shard_quarantined(self, tmp_path):
+        store, _ = _build_store(tmp_path)
+        os.unlink(store.shard_paths()[0])
+        report = store.audit()
+        assert [r.reason for r in report.quarantined] == ["missing-file"]
+        assert store.n_shards == 2
+        store.sufficient_stats()  # analysis proceeds over survivors
+
+    def test_unreadable_shard_without_digest_quarantined(self, tmp_path):
+        """Entries predating recorded digests (sha256=None) still get
+        caught -- by readability instead of checksum."""
+        store, _ = _build_store(tmp_path)
+        store.manifest.shards[1] = dataclasses.replace(
+            store.manifest.shards[1], sha256=None
+        )
+        store.manifest.save(store.manifest_path)
+        damage_truncate(store.shard_paths()[1], keep_fraction=0.4)
+        report = store.audit()
+        assert [r.reason for r in report.quarantined] == ["unreadable"]
+
+    def test_alien_table_quarantined(self, tmp_path):
+        store, _ = _build_store(tmp_path, n_preds=4)
+        path = store.shard_paths()[1]
+        alien = make_reports(9, [(True, {0}, None)] * 8)
+        save_reports(path, alien)
+        store.manifest.shards[1] = dataclasses.replace(
+            store.manifest.shards[1], sha256=file_sha256(path)
+        )
+        store.manifest.save(store.manifest_path)
+        report = store.audit()
+        assert [r.reason for r in report.quarantined] == ["table-mismatch"]
+
+    def test_run_count_disagreement_quarantined(self, tmp_path):
+        store, _ = _build_store(tmp_path)
+        entry = store.manifest.shards[1]
+        store.manifest.shards[1] = dataclasses.replace(entry, n_runs=entry.n_runs + 1)
+        store.manifest.save(store.manifest_path)
+        report = store.audit()
+        assert [r.reason for r in report.quarantined] == ["count-mismatch"]
+
+    def test_duplicate_seed_range_quarantined(self, tmp_path):
+        """A manifest that somehow carries overlapping ranges (e.g. two
+        racing sessions) keeps the first and quarantines the second."""
+        store, _ = _build_store(tmp_path, k=3, n_runs=24)
+        first = store.manifest.shards[0]
+        dup_name = shard_filename(4)
+        shutil.copyfile(
+            store.shard_paths()[0], os.path.join(store.directory, dup_name)
+        )
+        store.manifest.shards.append(
+            dataclasses.replace(first, filename=dup_name, seed_start=4)
+        )
+        store.manifest.save(store.manifest_path)
+
+        report = store.audit()
+        assert [r.reason for r in report.quarantined] == ["duplicate-seed-range"]
+        assert [r.filename for r in report.quarantined] == [dup_name]
+        assert store.manifest.find(first.filename) is not None
+
+    def test_orphan_files_reported_never_counted(self, tmp_path):
+        store, _ = _build_store(tmp_path)
+        orphan = "shard-99999999.npz"
+        shutil.copyfile(
+            store.shard_paths()[0], os.path.join(store.directory, orphan)
+        )
+        before = store.n_runs
+        report = store.audit()
+        assert report.quarantined == []
+        assert report.orphans == [orphan]
+        assert store.n_runs == before
+
+    def test_reason_record_is_machine_readable(self, tmp_path):
+        store, _ = _build_store(tmp_path)
+        damage_flip_bytes(store.shard_paths()[1], n_bytes=32)
+        store.audit()
+        records = store.quarantined()
+        assert len(records) == 1
+        (record,) = records
+        assert record["reason"] == "checksum-mismatch"
+        assert record["seed_start"] == 8
+        assert record["n_runs"] == 8
+        assert record["quarantined_at"] > 0
+        reason_path = os.path.join(
+            store.quarantine_dir, record["filename"] + ".reason.json"
+        )
+        with open(reason_path) as fh:
+            assert json.load(fh) == record
+
+    def test_audit_is_idempotent(self, tmp_path):
+        store, _ = _build_store(tmp_path)
+        damage_flip_bytes(store.shard_paths()[1], n_bytes=32)
+        first = store.audit()
+        assert not first.clean
+        second = store.audit()
+        assert second.clean
+        assert second.checked == 2
+
+    def test_clean_store_audits_clean(self, tmp_path):
+        store, whole = _build_store(tmp_path)
+        report = store.audit()
+        assert report.clean and report.checked == 3
+        assert store.n_runs == whole.n_runs
+
+    def test_streaming_reads_point_at_audit(self, tmp_path):
+        store, _ = _build_store(tmp_path)
+        os.unlink(store.shard_paths()[1])
+        with pytest.raises(StaleManifestError, match="audit"):
+            store.sufficient_stats()
+        with pytest.raises(StaleManifestError, match="audit"):
+            list(store.iter_reports())
+
+
+class TestMixedVersionStores:
+    """v1 shards (no embedded stats/signature) coexist with v2 shards;
+    integrity checking covers them through the derived signature."""
+
+    def _downgrade_to_v1(self, store, index):
+        """Rewrite one shard in the legacy v1 layout, keeping its entry's
+        digest honest (the bytes legitimately changed)."""
+        path = store.shard_paths()[index]
+        data = dict(np.load(path, allow_pickle=False))
+        for key in list(data):
+            if key.startswith("stats_") or key == "table_sha":
+                del data[key]
+        data["format_version"] = np.asarray([1])
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **data)
+        store.manifest.shards[index] = dataclasses.replace(
+            store.manifest.shards[index], sha256=file_sha256(path)
+        )
+        store.manifest.save(store.manifest_path)
+
+    def test_mixed_store_scores_exactly(self, tmp_path):
+        store, _ = _build_store(tmp_path, k=3)
+        expected = store.sufficient_stats()
+        self._downgrade_to_v1(store, 1)
+        assert store.audit().clean
+        _assert_stats_equal(store.sufficient_stats(), expected)
+
+    def test_v1_shard_with_alien_table_caught(self, tmp_path):
+        """The v1 fallback derives the table signature from the archive,
+        so even legacy shards cannot smuggle in a foreign table."""
+        store, _ = _build_store(tmp_path, n_preds=4)
+        path = store.shard_paths()[1]
+        alien = make_reports(9, [(True, {0}, None)] * 8)
+        save_reports(path, alien)
+        data = dict(np.load(path, allow_pickle=False))
+        for key in list(data):
+            if key.startswith("stats_") or key == "table_sha":
+                del data[key]
+        data["format_version"] = np.asarray([1])
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **data)
+        store.manifest.shards[1] = dataclasses.replace(
+            store.manifest.shards[1], sha256=file_sha256(path)
+        )
+        store.manifest.save(store.manifest_path)
+        report = store.audit()
+        assert [r.reason for r in report.quarantined] == ["table-mismatch"]
+
+
+class TestFaultSpecs:
+    def test_parse_round_trip(self):
+        fault = parse_fault("flip-bytes@2#1")
+        assert fault == Fault("flip-bytes", chunk=2, attempt=1)
+        assert parse_fault(fault.spec()) == fault
+
+    def test_defaults(self):
+        assert parse_fault("kill-worker") == Fault("kill-worker", chunk=0, attempt=0)
+        assert parse_fault("kill-worker@3") == Fault("kill-worker", chunk=3)
+
+    def test_comma_separated_list(self):
+        faults = parse_faults("kill-worker@0, flip-bytes@2#1 ,truncate-shard@1")
+        assert [f.kind for f in faults] == [
+            "kill-worker",
+            "flip-bytes",
+            "truncate-shard",
+        ]
+        assert parse_faults(None) == ()
+        assert parse_faults("") == ()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            parse_fault("set-on-fire@0")
+
+    def test_env_parsing(self):
+        faults = faults_from_env({"REPRO_INJECT_FAULTS": "hang-worker@1"})
+        assert faults == (Fault("hang-worker", chunk=1),)
+        assert faults_from_env({}) == ()
+
+    def test_injector_fires_exactly_once(self):
+        injector = FaultInjector([Fault("kill-worker", chunk=1, attempt=0)])
+        assert injector.fires("kill-worker", 1, 0)
+        assert not injector.fires("kill-worker", 1, 1)  # retry is healthy
+        assert not injector.fires("kill-worker", 0, 0)
+        assert not injector.fires("flip-bytes", 1, 0)
+        assert bool(injector)
+        assert not bool(FaultInjector())
+
+    def test_active_kinds_deduplicated_in_order(self):
+        injector = FaultInjector(
+            [Fault("flip-bytes", 0), Fault("kill-worker", 1), Fault("flip-bytes", 2)]
+        )
+        assert injector.active_kinds() == ["flip-bytes", "kill-worker"]

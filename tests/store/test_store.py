@@ -295,7 +295,9 @@ class TestV1ShardFallback:
             np.savez_compressed(fh, **data)
 
         F, S, F_obs, S_obs, numf, nums, sha = load_shard_stats(path)
-        assert sha is None
+        # v1 archives carry no embedded signature; it is derived from the
+        # materialised table so integrity checks still cover v1 shards.
+        assert sha == whole.table.signature()
         _assert_counters_equal(
             SufficientStats(F, S, F_obs, S_obs, numf, nums), compute_scores(whole)
         )
