@@ -83,3 +83,27 @@ def test_sampling_overhead_ordering(benchmark):
             "fast path avoids; the ordering is the reproduced claim)"
         ),
     )
+
+
+def test_observability_off_is_a_shared_noop(benchmark):
+    """The `repro.obs` hooks on the hot paths must be free when disabled.
+
+    The disabled facade hands back one shared no-op context manager --
+    no allocation, no branching beyond a module-global check -- so the
+    collection/analysis numbers above are unchanged by the hooks'
+    existence (docs/OBSERVABILITY.md pins this file for that claim).
+    """
+    from repro import obs
+    from repro.obs.metrics import NULL_TIMER
+
+    assert not obs.enabled()
+    assert obs.timer("hot.path") is NULL_TIMER
+    assert obs.span("hot.path", chunk=0) is NULL_TIMER
+
+    def disabled_hooks():
+        for _ in range(100_000):
+            with obs.span("hot.path"):
+                pass
+            obs.inc("hot.counter")
+
+    benchmark.pedantic(disabled_hooks, rounds=3, iterations=1)

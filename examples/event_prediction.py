@@ -14,6 +14,7 @@ Run with:  python examples/event_prediction.py [n_runs]
 """
 
 import random
+import os
 import sys
 
 import numpy as np
@@ -86,4 +87,5 @@ def main(n_runs: int = 2000) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2000)
+    main(int(sys.argv[1]) if len(sys.argv) > 1
+         else int(os.environ.get("REPRO_EXAMPLE_RUNS", 2000)))

@@ -12,6 +12,7 @@ Shows the full debugging workflow on the EXIF analogue:
 Run with:  python examples/exif_bug_hunt.py [n_runs]
 """
 
+import os
 import sys
 from collections import Counter
 
@@ -30,7 +31,7 @@ def main(n_runs: int = 4000) -> None:
             subject=subject,
             n_runs=n_runs,
             sampling="adaptive",
-            training_runs=150,
+            training_runs=min(150, n_runs),
             seed=0,
             max_predictors=10,
         )
@@ -65,4 +66,5 @@ def main(n_runs: int = 4000) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4000)
+    main(int(sys.argv[1]) if len(sys.argv) > 1
+         else int(os.environ.get("REPRO_EXAMPLE_RUNS", 4000)))

@@ -9,6 +9,7 @@ super-bug).
 Run with:  python examples/moss_validation.py [n_runs]
 """
 
+import os
 import sys
 
 from repro.core.truth import classify_predictor, cooccurrence_table, dominant_bug
@@ -25,7 +26,7 @@ def main(n_runs: int = 1500) -> None:
             subject=subject,
             n_runs=n_runs,
             sampling="adaptive",
-            training_runs=150,
+            training_runs=min(150, n_runs),
             seed=0,
             max_predictors=15,
         )
@@ -55,4 +56,5 @@ def main(n_runs: int = 1500) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1500)
+    main(int(sys.argv[1]) if len(sys.argv) > 1
+         else int(os.environ.get("REPRO_EXAMPLE_RUNS", 1500)))

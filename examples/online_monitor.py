@@ -15,6 +15,7 @@ Workflow demonstrated here on CCRYPT:
 Run with:  python examples/online_monitor.py
 """
 
+import os
 import random
 
 from repro.core.online import monitor_from_elimination
@@ -26,13 +27,15 @@ from repro.subjects import base
 
 def main() -> None:
     subject = CcryptSubject()
-    print("phase 1: learning predictors offline (1,000 runs)...")
+    n_runs = int(os.environ.get("REPRO_EXAMPLE_RUNS", 1000))
+    n_replays = int(os.environ.get("REPRO_EXAMPLE_REPLAYS", 400))
+    print(f"phase 1: learning predictors offline ({n_runs} runs)...")
     result = run_experiment(
         Experiment(
             subject=subject,
-            n_runs=1000,
+            n_runs=n_runs,
             sampling="adaptive",
-            training_runs=100,
+            training_runs=min(100, n_runs),
             seed=0,
             max_predictors=3,
         )
@@ -52,7 +55,7 @@ def main() -> None:
     false_alarms = 0
     clean = 0
     try:
-        for i in range(400):
+        for i in range(n_replays):
             job = subject.generate_input(rng)
             monitor.reset()
             base.begin_truth_capture()

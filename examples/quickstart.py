@@ -6,6 +6,7 @@ statistical debugging algorithm point at the cause.
 Run with:  python examples/quickstart.py
 """
 
+import os
 import random
 
 from repro import ReportBuilder, eliminate, prune_predicates
@@ -56,8 +57,9 @@ def main() -> None:
           f"{program.table.n_predicates} predicates")
 
     # 2. Run 2,000 random trials under 1/10 sampling.
+    n_runs = int(os.environ.get("REPRO_EXAMPLE_RUNS", 2000))
     reports, _ = run_trials(
-        subject, program, n_runs=2000, plan=SamplingPlan.uniform(0.1), seed=0
+        subject, program, n_runs=n_runs, plan=SamplingPlan.uniform(0.1), seed=0
     )
     print(f"collected {reports.n_runs} runs, {reports.num_failing} failing")
 

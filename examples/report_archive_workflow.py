@@ -63,4 +63,5 @@ def main(n_runs: int = 1500) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1500)
+    main(int(sys.argv[1]) if len(sys.argv) > 1
+         else int(os.environ.get("REPRO_EXAMPLE_RUNS", 1500)))

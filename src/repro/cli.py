@@ -145,6 +145,16 @@ def build_parser() -> argparse.ArgumentParser:
         "kinds: kill-worker, hang-worker, truncate-shard, flip-bytes, "
         "duplicate-shard, stale-manifest",
     )
+    collect.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="write collection metrics (counters/timers/gauges, merged "
+        "across workers) to PATH as a repro-metrics/v1 JSON document",
+    )
+    collect.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="append Chrome-compatible trace spans to PATH as JSONL; "
+        "convert with `python -m repro.obs.trace PATH` for chrome://tracing",
+    )
 
     analyze = sub.add_parser(
         "analyze",
@@ -173,6 +183,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard stores only: skip the integrity audit (checksum "
         "verification and quarantine of damaged shards) before analysis",
     )
+    analyze.add_argument(
+        "--profile", action="store_true",
+        help="print a timer/counter profile of the analysis to stderr",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the standard benchmark scenarios and append the results "
+        "to BENCH_collection.json / BENCH_analysis.json",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="small trial counts for CI smoke runs (entries are marked quick)",
+    )
+    bench.add_argument(
+        "--out-dir", metavar="DIR", default=".",
+        help="directory holding the BENCH_*.json trajectory files",
+    )
+    bench.add_argument(
+        "--label", default=None,
+        help="free-form label recorded with this bench entry (e.g. a commit)",
+    )
+    bench.add_argument(
+        "--scale", type=float, default=1.0,
+        help="multiply every scenario's trial count by this factor",
+    )
     return parser
 
 
@@ -186,10 +222,34 @@ def main(argv=None) -> int:
             print(f"{name:<12} bugs: {', '.join(subject.bug_ids)}")
         return 0
 
+    if args.command == "bench":
+        from repro.obs.bench import run_bench
+
+        collection_path, analysis_path = run_bench(
+            out_dir=args.out_dir,
+            quick=args.quick,
+            scale=args.scale,
+            label=args.label,
+        )
+        print(f"wrote {collection_path}")
+        print(f"wrote {analysis_path}")
+        return 0
+
     if args.command == "analyze":
-        if os.path.isdir(args.archive):
-            return _analyze_store(args)
-        return _analyze(args)
+        from repro import obs
+
+        if args.profile:
+            obs.configure()
+        try:
+            if os.path.isdir(args.archive):
+                code = _analyze_store(args)
+            else:
+                code = _analyze(args)
+            if args.profile:
+                obs.print_profile()
+            return code
+        finally:
+            obs.shutdown()
 
     if args.command == "collect":
         return _collect(args)
@@ -276,18 +336,32 @@ def _collect(args) -> int:
         f"(seeds {seed}..{seed + args.runs - 1}, {args.sampling} sampling)...",
         file=sys.stderr,
     )
-    store = run_trials_sharded(
-        subject,
-        args.runs,
-        plan,
-        args.out,
-        seed=seed,
-        jobs=args.jobs,
-        chunk_size=args.chunk_size,
-        max_attempts=args.max_attempts,
-        chunk_timeout=args.chunk_timeout,
-        faults=faults,
-    )
+    from repro import obs
+
+    obs_on = bool(args.metrics or args.trace)
+    if obs_on:
+        obs.configure(trace_path=args.trace)
+    try:
+        store = run_trials_sharded(
+            subject,
+            args.runs,
+            plan,
+            args.out,
+            seed=seed,
+            jobs=args.jobs,
+            chunk_size=args.chunk_size,
+            max_attempts=args.max_attempts,
+            chunk_timeout=args.chunk_timeout,
+            faults=faults,
+        )
+        if args.metrics:
+            obs.write_metrics(args.metrics)
+            print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+        if args.trace:
+            print(f"wrote trace spans to {args.trace}", file=sys.stderr)
+    finally:
+        if obs_on:
+            obs.shutdown()
     report = getattr(store, "last_collection", None)
     if report is not None and report.retries:
         print(

@@ -32,6 +32,7 @@ from repro.core.importance import ImportanceScores, importance_scores
 from repro.core.predicates import Predicate
 from repro.core.reports import ReportSet
 from repro.core.scores import DEFAULT_CONFIDENCE, PredicateScores, ScoreRow, compute_scores
+from repro.obs import enabled as _obs_enabled, inc as _obs_inc, span as _obs_span
 
 
 class DiscardStrategy(enum.Enum):
@@ -169,55 +170,58 @@ def eliminate(
     active = np.ones(reports.n_runs, dtype=bool)
     failed_work = reports.failed.copy()
 
-    initial_scores = compute_scores(reports, confidence=confidence)
-    initial_imp = importance_scores(initial_scores)
+    with _obs_span("analysis.eliminate", runs=reports.n_runs, predicates=n_preds):
+        initial_scores = compute_scores(reports, confidence=confidence)
+        initial_imp = importance_scores(initial_scores)
 
-    selected: List[SelectedPredictor] = []
-    iterations = 0
+        selected: List[SelectedPredictor] = []
+        iterations = 0
 
-    while True:
-        if max_predictors is not None and len(selected) >= max_predictors:
-            break
-        if not cand.any() or not active.any():
-            break
-        work = _working_copy(reports, failed_work)
-        scores = compute_scores(work, run_mask=active, confidence=confidence)
-        if scores.num_failing == 0:
-            break
-        imp = importance_scores(scores)
-        masked = np.where(cand, imp.importance, -np.inf)
-        best = int(np.argmax(masked))
-        if not np.isfinite(masked[best]) or masked[best] <= min_importance:
-            break
+        while True:
+            if max_predictors is not None and len(selected) >= max_predictors:
+                break
+            if not cand.any() or not active.any():
+                break
+            work = _working_copy(reports, failed_work)
+            scores = compute_scores(work, run_mask=active, confidence=confidence)
+            if scores.num_failing == 0:
+                break
+            imp = importance_scores(scores)
+            masked = np.where(cand, imp.importance, -np.inf)
+            best = int(np.argmax(masked))
+            if not np.isfinite(masked[best]) or masked[best] <= min_importance:
+                break
 
-        iterations += 1
-        true_mask = reports.true_mask(best) & active
-        covered_failing = int((true_mask & failed_work).sum())
-        if strategy is DiscardStrategy.DISCARD_ALL:
-            discarded = int(true_mask.sum())
-        elif strategy is DiscardStrategy.DISCARD_FAILING:
-            discarded = covered_failing
-        else:
-            discarded = 0
+            iterations += 1
+            true_mask = reports.true_mask(best) & active
+            covered_failing = int((true_mask & failed_work).sum())
+            if strategy is DiscardStrategy.DISCARD_ALL:
+                discarded = int(true_mask.sum())
+            elif strategy is DiscardStrategy.DISCARD_FAILING:
+                discarded = covered_failing
+            else:
+                discarded = 0
 
-        entry = SelectedPredictor(
-            rank=len(selected) + 1,
-            predicate=reports.table.predicates[best],
-            initial=_stats_for(initial_scores, initial_imp, best),
-            effective=_stats_for(scores, imp, best),
-            runs_discarded=discarded,
-            failing_runs_covered=covered_failing,
-        )
-        selected.append(entry)
-        cand[best] = False
+            entry = SelectedPredictor(
+                rank=len(selected) + 1,
+                predicate=reports.table.predicates[best],
+                initial=_stats_for(initial_scores, initial_imp, best),
+                effective=_stats_for(scores, imp, best),
+                runs_discarded=discarded,
+                failing_runs_covered=covered_failing,
+            )
+            selected.append(entry)
+            cand[best] = False
 
-        if strategy is DiscardStrategy.DISCARD_ALL:
-            active &= ~true_mask
-        elif strategy is DiscardStrategy.DISCARD_FAILING:
-            active &= ~(true_mask & failed_work)
-        else:  # RELABEL
-            failed_work = failed_work & ~true_mask
+            if strategy is DiscardStrategy.DISCARD_ALL:
+                active &= ~true_mask
+            elif strategy is DiscardStrategy.DISCARD_FAILING:
+                active &= ~(true_mask & failed_work)
+            else:  # RELABEL
+                failed_work = failed_work & ~true_mask
 
+    if _obs_enabled():
+        _obs_inc("analysis.elimination_iterations", iterations)
     remaining_failing = int((active & failed_work).sum())
     return EliminationResult(
         selected=selected,

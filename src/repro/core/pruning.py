@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.reports import ReportSet
 from repro.core.scores import DEFAULT_CONFIDENCE, PredicateScores, compute_scores
+from repro.obs import enabled as _obs_enabled, gauge as _obs_gauge, timer as _obs_timer
 
 
 @dataclass
@@ -97,17 +98,22 @@ def prune_predicates(
         if reports is None:
             raise ValueError("prune_predicates needs reports or precomputed scores")
         scores = compute_scores(reports, confidence=confidence)
-    if method == "interval":
-        positive = scores.increase_lo > 0.0
-    elif method == "ztest":
-        from repro.core.scores import z_test_pvalues
+    with _obs_timer("analysis.prune"):
+        if method == "interval":
+            positive = scores.increase_lo > 0.0
+        elif method == "ztest":
+            from repro.core.scores import z_test_pvalues
 
-        # p < alpha <=> z > critical for defined rows; undefined rows now
-        # carry p = 1.0, so they can never pass the filter even without
-        # the explicit `defined` mask below.
-        pvalues = z_test_pvalues(scores)
-        positive = (pvalues < 1.0 - confidence) & (scores.increase > 0.0)
-    else:
-        raise ValueError(f"unknown pruning method {method!r}")
-    kept = scores.defined & positive & (scores.F + scores.S >= min_true_runs)
-    return PruningResult(kept=np.asarray(kept, dtype=bool), scores=scores)
+            # p < alpha <=> z > critical for defined rows; undefined rows now
+            # carry p = 1.0, so they can never pass the filter even without
+            # the explicit `defined` mask below.
+            pvalues = z_test_pvalues(scores)
+            positive = (pvalues < 1.0 - confidence) & (scores.increase > 0.0)
+        else:
+            raise ValueError(f"unknown pruning method {method!r}")
+        kept = scores.defined & positive & (scores.F + scores.S >= min_true_runs)
+    result = PruningResult(kept=np.asarray(kept, dtype=bool), scores=scores)
+    if _obs_enabled():
+        _obs_gauge("analysis.pruning_initial", float(result.n_initial))
+        _obs_gauge("analysis.pruning_kept", float(result.n_kept))
+    return result

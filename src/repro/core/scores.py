@@ -32,6 +32,7 @@ import numpy as np
 from scipy import sparse, stats
 
 from repro.core.reports import ReportSet
+from repro.obs import inc as _obs_inc, timer as _obs_timer
 
 #: Two-sided confidence level used throughout the paper.
 DEFAULT_CONFIDENCE = 0.95
@@ -206,12 +207,13 @@ def compute_scores(
     Returns:
         A :class:`PredicateScores` with one entry per predicate.
     """
-    F, S, F_obs, S_obs, num_failing, num_successful = sufficient_counts(
-        reports, run_mask
-    )
-    return scores_from_counts(
-        F, S, F_obs, S_obs, num_failing, num_successful, confidence=confidence
-    )
+    with _obs_timer("scores.compute"):
+        F, S, F_obs, S_obs, num_failing, num_successful = sufficient_counts(
+            reports, run_mask
+        )
+        return scores_from_counts(
+            F, S, F_obs, S_obs, num_failing, num_successful, confidence=confidence
+        )
 
 
 def scores_from_counts(
@@ -231,6 +233,7 @@ def scores_from_counts(
     without materialising them.  ``compute_scores`` delegates here, which
     guarantees the incremental and monolithic paths share every formula.
     """
+    _obs_inc("scores.computations")
     F = np.asarray(F, dtype=np.int64)
     S = np.asarray(S, dtype=np.int64)
     F_obs = np.asarray(F_obs, dtype=np.int64)

@@ -51,6 +51,15 @@ from repro.core.truth import GroundTruth
 from repro.instrument.sampling import SamplingPlan
 from repro.instrument.tracer import crash_stack, instrument_source
 from repro.instrument.transform import InstrumentationConfig
+from repro.obs import (
+    enabled as _obs_enabled,
+    inc as _obs_inc,
+    instant as _obs_instant,
+    merge_snapshot as _obs_merge,
+    reset as _obs_reset,
+    snapshot as _obs_snapshot,
+    span as _obs_span,
+)
 from repro.subjects import base as subject_base
 from repro.subjects.base import Subject
 
@@ -239,10 +248,26 @@ def _chunk_worker(
         time.sleep(_HANG_SECONDS)
     if injector.fires("kill-worker", chunk_index, attempt):
         os.kill(os.getpid(), signal.SIGKILL)
-    _, n_runs, num_failing, _ = _run_chunk_to_shard((start, count, plan, pending_path))
-    digest = file_sha256(pending_path)
+    # The fork inherited the parent's metrics registry; reset it so the
+    # snapshot shipped back covers exactly this chunk attempt.  Trace
+    # events append straight to the shared trace file (one write per
+    # line), so worker spans land in the same timeline as the parent's.
+    obs_on = _obs_enabled()
+    if obs_on:
+        _obs_reset()
+    with _obs_span(
+        "collect.worker_chunk",
+        chunk=chunk_index,
+        attempt=attempt,
+        seed_start=start,
+        count=count,
+    ):
+        _, n_runs, num_failing, _ = _run_chunk_to_shard((start, count, plan, pending_path))
+        digest = file_sha256(pending_path)
     apply_worker_damage(injector, chunk_index, attempt, pending_path)
-    result_queue.put((chunk_index, n_runs, num_failing, digest))
+    result_queue.put(
+        (chunk_index, n_runs, num_failing, digest, _obs_snapshot() if obs_on else None)
+    )
 
 
 def run_trials_sharded(
@@ -378,7 +403,7 @@ def run_trials_sharded(
     completed: Dict[int, ShardEntry] = {}
     chunk_attempt: Dict[int, int] = {}
     next_commit = 0
-    results: Dict[int, Tuple[int, int, str]] = {}
+    results: Dict[int, Tuple[int, int, str, Optional[dict]]] = {}
 
     def pending_path_of(chunk: _ChunkState) -> str:
         return os.path.join(
@@ -395,6 +420,13 @@ def run_trials_sharded(
             reason=why,
             detail=detail,
         )
+        if _obs_enabled():
+            _obs_instant(
+                "collect.chunk_failed",
+                chunk=chunk.index,
+                attempt=chunk.attempt,
+                reason=why,
+            )
         results.pop(chunk.index, None)  # drop any stale result of this attempt
         staged = pending_path_of(chunk)
         if why == "corrupt-shard":
@@ -460,6 +492,18 @@ def run_trials_sharded(
             None,
         )
 
+    # Entered manually so the span brackets the whole supervision loop
+    # without re-indenting it; the matching __exit__ sits in the finally
+    # below, so the span closes (and its trace event is emitted) even
+    # when a chunk exhausts its attempts.
+    session_span = _obs_span(
+        "collect.session",
+        subject=subject.name,
+        n_runs=n_runs,
+        chunks=len(chunks),
+        jobs=jobs,
+    )
+    session_span.__enter__()
     try:
         while len(completed) < len(chunks) or next_commit < len(chunks):
             now = time.monotonic()
@@ -499,8 +543,8 @@ def run_trials_sharded(
 
             # Drain finished workers' results.
             while not result_queue.empty():
-                idx, n, failing, digest = result_queue.get()
-                results[idx] = (n, failing, digest)
+                idx, n, failing, digest, snap = result_queue.get()
+                results[idx] = (n, failing, digest, snap)
 
             # Reap exited or timed-out workers.
             for idx in list(active):
@@ -523,8 +567,8 @@ def run_trials_sharded(
                 # but drain once more in case it landed after the loop
                 # above.
                 while not result_queue.empty():
-                    ridx, n, failing, digest = result_queue.get()
-                    results[ridx] = (n, failing, digest)
+                    ridx, n, failing, digest, snap = result_queue.get()
+                    results[ridx] = (n, failing, digest, snap)
                 if idx not in results:
                     report.worker_deaths += 1
                     fail_chunk(
@@ -534,11 +578,16 @@ def run_trials_sharded(
                         "reporting a result",
                     )
                     continue
-                n, failing, digest = results.pop(idx)
+                n, failing, digest, snap = results.pop(idx)
                 entry, problem = verify_result(chunk, n, failing, digest)
                 if entry is None:
                     fail_chunk(chunk, "corrupt-shard", problem or "verification failed")
                     continue
+                # Fold the worker's metrics into the parent registry only
+                # for accepted attempts: counters then reflect exactly the
+                # work that produced the committed population.
+                if snap is not None and _obs_enabled():
+                    _obs_merge(snap)
                 completed[idx] = entry
                 store.log_event(
                     "chunk-done",
@@ -571,11 +620,20 @@ def run_trials_sharded(
             if active or waiting or len(completed) > next_commit:
                 time.sleep(0.005)
     finally:
+        session_span.__exit__(None, None, None)
         for proc, _, _ in active.values():
             if proc.is_alive():  # type: ignore[attr-defined]
                 proc.kill()  # type: ignore[attr-defined]
             proc.join()  # type: ignore[attr-defined]
         result_queue.close()
+
+    if _obs_enabled():
+        _obs_inc("collect.chunks", report.n_chunks)
+        _obs_inc("collect.attempts", report.attempts)
+        _obs_inc("collect.retries", report.retries)
+        _obs_inc("collect.worker_deaths", report.worker_deaths)
+        _obs_inc("collect.timeouts", report.timeouts)
+        _obs_inc("collect.corrupt_shards", report.corrupt_shards)
 
     store.log_event(
         "session-end",

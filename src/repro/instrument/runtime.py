@@ -27,6 +27,7 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.predicates import PredicateTable
 from repro.instrument.sampling import SamplingPlan, geometric_gap
+from repro.obs import enabled as _obs_enabled, inc as _obs_inc
 
 #: Sentinel for "variable not bound yet" in scalar-pair old-value capture.
 #: It fails the numeric type check, so unbound comparisons are skipped.
@@ -97,6 +98,8 @@ class Runtime:
         self._rng = random.Random(seed)
         self._rng_random = self._rng.random
 
+        if _obs_enabled():
+            _obs_inc(f"runtime.begin_run.{plan.mode}")
         if plan.mode == "full":
             self._take = self._take_full
         elif plan.mode == "uniform":
@@ -115,9 +118,19 @@ class Runtime:
             raise ValueError(f"unknown sampling mode {plan.mode!r}")
 
     def end_run(self) -> Tuple[Dict[int, int], Dict[int, int]]:
-        """Return ``(site_observed, pred_true)`` sparse count dicts."""
+        """Return ``(site_observed, pred_true)`` sparse count dicts.
+
+        When observability is on, the run's aggregate sampling activity
+        is folded into the metrics here -- once per run, never per
+        observation, so the per-opportunity fast path stays untouched
+        and instrumented executions remain bit-identical.
+        """
         site_obs = {i: c for i, c in enumerate(self._site_obs) if c}
         pred_true = {i: c for i, c in enumerate(self._true) if c}
+        if _obs_enabled():
+            _obs_inc("runtime.runs")
+            _obs_inc("runtime.samples_taken", sum(site_obs.values()))
+            _obs_inc("runtime.predicates_true", sum(pred_true.values()))
         return site_obs, pred_true
 
     # ------------------------------------------------------------------

@@ -27,6 +27,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import enabled as _obs_enabled, gauge as _obs_gauge, timer as _obs_timer
+
 #: The paper's default sampling density.
 DEFAULT_RATE = 1.0 / 100.0
 
@@ -76,10 +78,18 @@ def adaptive_rates(
         Array of per-site rates in ``[min_rate, 1.0]``.
     """
     counts = np.asarray(mean_reach_counts, dtype=np.float64)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        rates = np.where(counts > 0, target_samples / np.maximum(counts, 1e-300), 1.0)
-    rates = np.where(counts < target_samples, 1.0, rates)
-    return np.clip(rates, min_rate, 1.0)
+    with _obs_timer("sampling.adaptive_rates"):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            rates = np.where(
+                counts > 0, target_samples / np.maximum(counts, 1e-300), 1.0
+            )
+        rates = np.where(counts < target_samples, 1.0, rates)
+        rates = np.clip(rates, min_rate, 1.0)
+    if _obs_enabled() and rates.size:
+        _obs_gauge("sampling.sites", float(rates.size))
+        _obs_gauge("sampling.sites_at_full_rate", float((rates >= 1.0).sum()))
+        _obs_gauge("sampling.min_rate", float(rates.min()))
+    return rates
 
 
 @dataclass

@@ -1,0 +1,419 @@
+"""``repro-cbi bench``: the standardized perf scenarios and their schema.
+
+Running the bench appends one *entry* to each of two append-only JSON
+documents at the repo root (or ``--out-dir``):
+
+* ``BENCH_collection.json`` -- collection-side scenarios: instrumented
+  trial throughput (runs/sec) for every registered subject, plus the
+  supervised sharded collector's end-to-end throughput including its
+  disk commits;
+* ``BENCH_analysis.json`` -- analysis-side scenarios: streaming-merge
+  bandwidth (MB/s over the shard bytes) and end-to-end scoring latency
+  (streamed sufficient statistics -> scores -> pruning) at three store
+  sizes.
+
+Both documents share schema :data:`BENCH_SCHEMA` (``repro-bench/v1``),
+documented with a worked example in ``docs/OBSERVABILITY.md``; the
+validator here is the single source of truth, and
+``python -m repro.obs.bench --check`` gates CI on emitted files *and*
+on the documented example staying valid (so code and docs cannot
+drift apart silently).
+
+Every future PR that touches a hot path re-runs the bench and appends a
+labelled entry, growing the measured perf trajectory in-repo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: Schema tag shared by both BENCH documents.
+BENCH_SCHEMA = "repro-bench/v1"
+
+#: Canonical file names at the trajectory root.
+COLLECTION_FILE = "BENCH_collection.json"
+ANALYSIS_FILE = "BENCH_analysis.json"
+
+#: Baseline trial counts (full mode); ``--quick`` uses the small set.
+_FULL_THROUGHPUT_RUNS = 300
+_QUICK_THROUGHPUT_RUNS = 40
+_FULL_STORE_RUNS = (300, 600, 1200)
+_QUICK_STORE_RUNS = (60, 120, 240)
+
+#: Floor on scaled trial counts so scenarios stay statistically non-empty.
+_MIN_RUNS = 10
+
+
+class BenchSchemaError(ValueError):
+    """A BENCH document does not conform to ``repro-bench/v1``."""
+
+
+def environment_info() -> dict:
+    """The environment block stamped into every bench entry."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _scaled(base: int, scale: float) -> int:
+    return max(int(base * scale), _MIN_RUNS)
+
+
+def _scenario(name: str, params: dict, metrics: Dict[str, float], subject: Optional[str] = None) -> dict:
+    entry = {"name": name, "params": params, "metrics": metrics}
+    if subject is not None:
+        entry["subject"] = subject
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Scenario runners
+# ----------------------------------------------------------------------
+def run_collection_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
+    """Collection throughput: instrumented runs/sec per subject."""
+    from repro.cli import SUBJECTS
+    from repro.harness.parallel import run_trials_sharded
+    from repro.harness.runner import run_trials
+    from repro.instrument.sampling import SamplingPlan
+    from repro.instrument.tracer import instrument_source
+
+    n_runs = _scaled(
+        _QUICK_THROUGHPUT_RUNS if quick else _FULL_THROUGHPUT_RUNS, scale
+    )
+    plan = SamplingPlan.uniform(0.01)
+    scenarios: List[dict] = []
+    for name in sorted(SUBJECTS):
+        subject = SUBJECTS[name]()
+        program = instrument_source(subject.source(), subject.name)
+        start = time.perf_counter()
+        reports, _ = run_trials(subject, program, n_runs, plan, seed=0)
+        wall = time.perf_counter() - start
+        scenarios.append(
+            _scenario(
+                "collection_throughput",
+                {"runs": n_runs, "sampling": "uniform", "rate": 0.01},
+                {
+                    "wall_seconds": wall,
+                    "runs_per_sec": reports.n_runs / max(wall, 1e-9),
+                },
+                subject=name,
+            )
+        )
+
+    # The supervised sharded collector, including its fsync'd commits.
+    subject = SUBJECTS["ccrypt"]()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        store_dir = os.path.join(tmp, "store")
+        start = time.perf_counter()
+        store = run_trials_sharded(
+            subject,
+            n_runs,
+            plan,
+            store_dir,
+            seed=0,
+            jobs=2,
+            chunk_size=max(n_runs // 4, 5),
+        )
+        wall = time.perf_counter() - start
+        scenarios.append(
+            _scenario(
+                "sharded_collection_throughput",
+                {
+                    "runs": n_runs,
+                    "jobs": 2,
+                    "chunk_size": max(n_runs // 4, 5),
+                    "sampling": "uniform",
+                    "rate": 0.01,
+                },
+                {
+                    "wall_seconds": wall,
+                    "runs_per_sec": store.n_runs / max(wall, 1e-9),
+                },
+                subject="ccrypt",
+            )
+        )
+    return scenarios
+
+
+def run_analysis_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
+    """Streaming-merge MB/s and scoring latency at three store sizes."""
+    from repro.core.pruning import prune_predicates
+    from repro.harness.parallel import run_trials_sharded
+    from repro.instrument.sampling import SamplingPlan
+    from repro.store import ShardStore
+
+    from repro.cli import SUBJECTS
+
+    subject = SUBJECTS["ccrypt"]()
+    plan = SamplingPlan.uniform(0.01)
+    # dict.fromkeys dedupes while keeping order: at tiny --scale several
+    # sizes clamp to _MIN_RUNS and would otherwise collide in one store.
+    sizes = list(dict.fromkeys(
+        _scaled(n, scale)
+        for n in (_QUICK_STORE_RUNS if quick else _FULL_STORE_RUNS)
+    ))
+    scenarios: List[dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        store_dirs: List[Tuple[int, str]] = []
+        for size in sizes:
+            store_dir = os.path.join(tmp, f"store-{size}")
+            run_trials_sharded(
+                subject,
+                size,
+                plan,
+                store_dir,
+                seed=0,
+                jobs=2,
+                chunk_size=max(size // 6, 5),
+            )
+            store_dirs.append((size, store_dir))
+
+        # Scoring latency: streamed stats -> scores -> pruning, per size.
+        for size, store_dir in store_dirs:
+            store = ShardStore.open(store_dir)
+            start = time.perf_counter()
+            scores = store.compute_scores()
+            pruning = prune_predicates(scores=scores)
+            wall = time.perf_counter() - start
+            scenarios.append(
+                _scenario(
+                    "scoring_latency",
+                    {"runs": size, "shards": store.n_shards},
+                    {
+                        "wall_seconds": wall,
+                        "runs_per_sec": size / max(wall, 1e-9),
+                        "predicates_kept": float(pruning.n_kept),
+                    },
+                    subject="ccrypt",
+                )
+            )
+
+        # Streaming merge bandwidth over the largest store's bytes.
+        size, store_dir = store_dirs[-1]
+        store = ShardStore.open(store_dir)
+        total_bytes = sum(os.path.getsize(p) for p in store.shard_paths())
+        start = time.perf_counter()
+        store.sufficient_stats()
+        wall = time.perf_counter() - start
+        scenarios.append(
+            _scenario(
+                "streaming_merge",
+                {"runs": size, "shards": store.n_shards, "bytes": total_bytes},
+                {
+                    "wall_seconds": wall,
+                    "mb_per_sec": total_bytes / 1e6 / max(wall, 1e-9),
+                },
+                subject="ccrypt",
+            )
+        )
+    return scenarios
+
+
+# ----------------------------------------------------------------------
+# Document assembly and validation
+# ----------------------------------------------------------------------
+def make_entry(scenarios: List[dict], quick: bool, label: Optional[str]) -> dict:
+    """Wrap scenario results into one trajectory entry."""
+    return {
+        "created_unix": time.time(),
+        "label": label or "unlabelled",
+        "quick": quick,
+        "environment": environment_info(),
+        "scenarios": scenarios,
+    }
+
+
+def append_entry(path: str, kind: str, entry: dict) -> dict:
+    """Append ``entry`` to the BENCH document at ``path`` (creating it).
+
+    An existing document must carry the current schema and ``kind``;
+    anything else is an error rather than a silent overwrite.
+    """
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        validate_bench_document(doc)
+        if doc["kind"] != kind:
+            raise BenchSchemaError(
+                f"{path} holds kind {doc['kind']!r}, refusing to append {kind!r}"
+            )
+    else:
+        doc = {"schema": BENCH_SCHEMA, "kind": kind, "entries": []}
+    doc["entries"].append(entry)
+    validate_bench_document(doc)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc
+
+
+def validate_bench_document(doc: dict) -> None:
+    """Raise :class:`BenchSchemaError` unless ``doc`` is a valid document."""
+
+    def need(cond: bool, message: str) -> None:
+        if not cond:
+            raise BenchSchemaError(message)
+
+    need(isinstance(doc, dict), "document must be a JSON object")
+    need(doc.get("schema") == BENCH_SCHEMA, f"schema must be {BENCH_SCHEMA!r}")
+    need(doc.get("kind") in ("collection", "analysis"),
+         "kind must be 'collection' or 'analysis'")
+    need(isinstance(doc.get("entries"), list), "entries must be a list")
+    for i, entry in enumerate(doc["entries"]):
+        where = f"entries[{i}]"
+        need(isinstance(entry, dict), f"{where} must be an object")
+        need(isinstance(entry.get("created_unix"), (int, float)),
+             f"{where}.created_unix must be a number")
+        need(isinstance(entry.get("label"), str), f"{where}.label must be a string")
+        need(isinstance(entry.get("quick"), bool), f"{where}.quick must be a bool")
+        env = entry.get("environment")
+        need(isinstance(env, dict), f"{where}.environment must be an object")
+        for key in ("python", "platform", "cpu_count"):
+            need(key in env, f"{where}.environment lacks {key!r}")
+        need(isinstance(entry.get("scenarios"), list) and entry["scenarios"],
+             f"{where}.scenarios must be a non-empty list")
+        for j, sc in enumerate(entry["scenarios"]):
+            swhere = f"{where}.scenarios[{j}]"
+            need(isinstance(sc, dict), f"{swhere} must be an object")
+            need(isinstance(sc.get("name"), str) and sc["name"],
+                 f"{swhere}.name must be a non-empty string")
+            need(isinstance(sc.get("params"), dict), f"{swhere}.params must be an object")
+            metrics = sc.get("metrics")
+            need(isinstance(metrics, dict) and metrics,
+                 f"{swhere}.metrics must be a non-empty object")
+            for mname, mval in metrics.items():
+                need(
+                    isinstance(mval, (int, float)) and not isinstance(mval, bool),
+                    f"{swhere}.metrics[{mname!r}] must be a number",
+                )
+
+
+def validate_file(path: str) -> dict:
+    """Load and validate one BENCH document; returns it."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    validate_bench_document(doc)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Docs cross-check
+# ----------------------------------------------------------------------
+def documented_examples(markdown_path: str) -> List[dict]:
+    """Extract the ``repro-bench`` JSON examples from a markdown page."""
+    with open(markdown_path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    examples: List[dict] = []
+    for match in re.finditer(r"```json\n(.*?)```", text, flags=re.DOTALL):
+        block = match.group(1)
+        if BENCH_SCHEMA not in block:
+            continue
+        try:
+            examples.append(json.loads(block))
+        except json.JSONDecodeError as exc:
+            raise BenchSchemaError(
+                f"{markdown_path}: documented example is not valid JSON: {exc}"
+            ) from exc
+    return examples
+
+
+def _skeleton(doc: dict) -> dict:
+    """Structural skeleton of a document: the key sets at every level."""
+    entry = doc["entries"][0]
+    scenario = entry["scenarios"][0]
+    return {
+        "document": sorted(doc),
+        "entry": sorted(entry),
+        "environment": sorted(entry["environment"]),
+        "scenario": sorted(scenario),
+    }
+
+
+def check_against_docs(doc: dict, markdown_path: str) -> None:
+    """Fail when ``doc``'s structure diverges from the documented example.
+
+    The documented example must itself validate, and its key sets at the
+    document / entry / scenario levels must equal the emitted ones.
+    """
+    examples = documented_examples(markdown_path)
+    if not examples:
+        raise BenchSchemaError(
+            f"{markdown_path} contains no {BENCH_SCHEMA} JSON example to check against"
+        )
+    for example in examples:
+        validate_bench_document(example)
+    matching = [e for e in examples if e["kind"] == doc["kind"]] or examples
+    documented = _skeleton(matching[0])
+    emitted = _skeleton(doc)
+    if documented != emitted:
+        raise BenchSchemaError(
+            "emitted BENCH structure diverges from the documented schema: "
+            f"documented {documented}, emitted {emitted}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def run_bench(
+    out_dir: str = ".",
+    quick: bool = False,
+    scale: float = 1.0,
+    label: Optional[str] = None,
+) -> Tuple[str, str]:
+    """Run every scenario and append entries to both BENCH documents.
+
+    Returns:
+        ``(collection_path, analysis_path)``.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    collection_path = os.path.join(out_dir, COLLECTION_FILE)
+    analysis_path = os.path.join(out_dir, ANALYSIS_FILE)
+
+    print("bench: collection scenarios...", file=sys.stderr)
+    collection = run_collection_scenarios(quick, scale)
+    append_entry(collection_path, "collection", make_entry(collection, quick, label))
+
+    print("bench: analysis scenarios...", file=sys.stderr)
+    analysis = run_analysis_scenarios(quick, scale)
+    append_entry(analysis_path, "analysis", make_entry(analysis, quick, label))
+    return collection_path, analysis_path
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.obs.bench --check BENCH_*.json [--docs PAGE]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="validate BENCH_*.json documents against repro-bench/v1",
+    )
+    parser.add_argument("--check", nargs="+", metavar="FILE", required=True,
+                        help="BENCH documents to validate")
+    parser.add_argument("--docs", default=None, metavar="PAGE",
+                        help="also require structural agreement with the "
+                        "documented example in this markdown page")
+    args = parser.parse_args(argv)
+    for path in args.check:
+        try:
+            doc = validate_file(path)
+            if args.docs:
+                check_against_docs(doc, args.docs)
+        except (BenchSchemaError, OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            return 1
+        entries = len(doc["entries"])
+        print(f"ok   {path}: {doc['kind']}, {entries} entr{'y' if entries == 1 else 'ies'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

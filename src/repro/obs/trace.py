@@ -1,0 +1,175 @@
+"""Trace spans: Chrome Trace Event Format records, one JSON per line.
+
+Each line of the trace file is a self-contained JSON object following
+the Chrome Trace Event Format (the format ``chrome://tracing`` and
+Perfetto read).  Two phases are emitted:
+
+* ``"X"`` *complete* events -- a span with ``ts`` (microseconds since
+  the epoch) and ``dur`` (microseconds), e.g. one per collection chunk;
+* ``"i"`` *instant* events -- a point in time, e.g. a chunk retry.
+
+The JSONL framing (rather than one JSON array) is deliberate: every
+event is appended with a single ``write`` of one line, so forked
+collection workers can share the parent's trace file without locks --
+the ``pid`` field says who wrote what, and a crashed worker can never
+leave the file unparseable.  To load the file in ``chrome://tracing``,
+wrap the lines into the object form::
+
+    python -m repro.obs.trace TRACE.jsonl -o TRACE.json
+
+and open ``TRACE.json`` via the Load button (see
+``docs/OBSERVABILITY.md`` for a walkthrough).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import threading
+import time
+from typing import List, Optional
+
+#: Category tag on every emitted event.
+TRACE_CATEGORY = "repro"
+
+#: Keys every event line must carry (the validity tests pin these).
+REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+class _Span:
+    """Context manager emitting one ``"X"`` complete event on exit."""
+
+    __slots__ = ("_writer", "_name", "_args", "_registry", "_wall_us", "_start")
+
+    def __init__(self, writer: "TraceWriter", name: str, args: dict, registry) -> None:
+        self._writer = writer
+        self._name = name
+        self._args = args
+        self._registry = registry
+
+    def __enter__(self) -> "_Span":
+        self._wall_us = time.time() * 1e6
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._writer.emit(
+            {
+                "name": self._name,
+                "cat": TRACE_CATEGORY,
+                "ph": "X",
+                "ts": self._wall_us,
+                "dur": elapsed * 1e6,
+                "pid": os.getpid(),
+                "tid": threading.get_ident() & 0x7FFFFFFF,
+                "args": self._args,
+            }
+        )
+        if self._registry is not None:
+            self._registry.observe(self._name, elapsed)
+
+
+class TraceWriter:
+    """Appends trace events to a JSONL file, one line per event."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        # Touch the file so an empty trace is still a valid (empty) trace.
+        with open(path, "a", encoding="utf-8"):
+            pass
+
+    def emit(self, event: dict) -> None:
+        """Append one event as a single line (safe across forked writers)."""
+        line = json.dumps(event, sort_keys=True) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+
+    def span(self, name: str, registry=None, **args) -> _Span:
+        """A context manager tracing its block as a complete event.
+
+        When ``registry`` is given, the span's duration also lands in
+        that registry's timer of the same name.
+        """
+        return _Span(self, name, args, registry)
+
+    def instant(self, name: str, **args) -> None:
+        """Emit an instantaneous event."""
+        self.emit(
+            {
+                "name": name,
+                "cat": TRACE_CATEGORY,
+                "ph": "i",
+                "s": "p",
+                "ts": time.time() * 1e6,
+                "pid": os.getpid(),
+                "tid": threading.get_ident() & 0x7FFFFFFF,
+                "args": args,
+            }
+        )
+
+
+def read_trace(path: str) -> List[dict]:
+    """Parse a JSONL trace file into its event list.
+
+    Raises:
+        ValueError: A line is not valid JSON or lacks a required key.
+    """
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not valid JSON: {exc}") from exc
+            missing = [k for k in REQUIRED_EVENT_KEYS if k not in event]
+            if missing:
+                raise ValueError(
+                    f"{path}:{lineno}: event lacks required keys {missing}"
+                )
+            if event["ph"] == "X" and "dur" not in event:
+                raise ValueError(f"{path}:{lineno}: complete event lacks 'dur'")
+            events.append(event)
+    return events
+
+
+def to_chrome_json(src: str, dst: str) -> int:
+    """Convert a JSONL trace into the object form ``chrome://tracing`` loads.
+
+    Returns:
+        The number of events converted.
+    """
+    events = read_trace(src)
+    with open(dst, "w", encoding="utf-8") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+        handle.write("\n")
+    return len(events)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.obs.trace TRACE.jsonl -o TRACE.json``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trace",
+        description="convert a repro JSONL trace for chrome://tracing",
+    )
+    parser.add_argument("trace", help="JSONL trace written by --trace")
+    parser.add_argument(
+        "-o", "--out", default=None,
+        help="output path (default: the input with a .json suffix)",
+    )
+    args = parser.parse_args(argv)
+    out = args.out or (
+        args.trace[: -len(".jsonl")] + ".json"
+        if args.trace.endswith(".jsonl")
+        else args.trace + ".json"
+    )
+    count = to_chrome_json(args.trace, out)
+    print(f"wrote {count} events to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

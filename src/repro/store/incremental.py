@@ -28,6 +28,7 @@ from repro.core.scores import (
     scores_from_counts,
     sufficient_counts,
 )
+from repro.obs import timer as _obs_timer
 
 
 @dataclass
@@ -124,15 +125,16 @@ class SufficientStats:
         so the result is exactly what scoring the merged shards would
         produce.
         """
-        return scores_from_counts(
-            self.F,
-            self.S,
-            self.F_obs,
-            self.S_obs,
-            self.num_failing,
-            self.num_successful,
-            confidence=confidence,
-        )
+        with _obs_timer("scores.from_counts"):
+            return scores_from_counts(
+                self.F,
+                self.S,
+                self.F_obs,
+                self.S_obs,
+                self.num_failing,
+                self.num_successful,
+                confidence=confidence,
+            )
 
     def __repr__(self) -> str:
         return (

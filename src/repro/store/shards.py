@@ -71,6 +71,12 @@ from repro.core.scores import DEFAULT_CONFIDENCE, PredicateScores
 from repro.core.truth import GroundTruth
 from repro.instrument.sampling import SamplingPlan
 from repro.instrument.transform import InstrumentationConfig
+from repro.obs import (
+    enabled as _obs_enabled,
+    inc as _obs_inc,
+    span as _obs_span,
+    timer as _obs_timer,
+)
 from repro.store.errors import (
     DuplicateSeedRangeError,
     ShardCorruptionError,
@@ -431,8 +437,12 @@ class ShardStore:
         staged = final + PENDING_SUFFIX
         if not os.path.exists(staged):
             raise FileNotFoundError(f"no pending shard at {staged} to commit")
-        self.register_shard(entry)
-        os.replace(staged, final)
+        with _obs_timer("store.commit_shard"):
+            self.register_shard(entry)
+            os.replace(staged, final)
+        if _obs_enabled():
+            _obs_inc("store.shards_committed")
+            _obs_inc("store.runs_committed", entry.n_runs)
         return final
 
     # ------------------------------------------------------------------
@@ -452,19 +462,20 @@ class ShardStore:
         """
         rolled_forward: List[str] = []
         rolled_back: List[str] = []
-        for entry in self.manifest.shards:
-            final = os.path.join(self.directory, entry.filename)
-            staged = final + PENDING_SUFFIX
-            if not os.path.exists(final) and os.path.exists(staged):
-                os.replace(staged, final)
-                rolled_forward.append(entry.filename)
-        for name in sorted(os.listdir(self.directory)):
-            if not name.endswith(PENDING_SUFFIX):
-                continue
-            final_name = name[: -len(PENDING_SUFFIX)]
-            if self.manifest.find(final_name) is None:
-                os.unlink(os.path.join(self.directory, name))
-                rolled_back.append(name)
+        with _obs_timer("store.recover"):
+            for entry in self.manifest.shards:
+                final = os.path.join(self.directory, entry.filename)
+                staged = final + PENDING_SUFFIX
+                if not os.path.exists(final) and os.path.exists(staged):
+                    os.replace(staged, final)
+                    rolled_forward.append(entry.filename)
+            for name in sorted(os.listdir(self.directory)):
+                if not name.endswith(PENDING_SUFFIX):
+                    continue
+                final_name = name[: -len(PENDING_SUFFIX)]
+                if self.manifest.find(final_name) is None:
+                    os.unlink(os.path.join(self.directory, name))
+                    rolled_back.append(name)
         if rolled_forward or rolled_back:
             self.log_event(
                 "recover", rolled_forward=rolled_forward, rolled_back=rolled_back
@@ -577,6 +588,14 @@ class ShardStore:
         surviving shards is bit-identical to a clean collection of just
         those seed ranges.
         """
+        with _obs_span("store.audit", shards=self.n_shards):
+            report = self._audit_impl()
+        if _obs_enabled():
+            _obs_inc("store.shards_quarantined", len(report.quarantined))
+            _obs_inc("store.runs_lost", report.runs_lost)
+        return report
+
+    def _audit_impl(self) -> AuditReport:
         report = AuditReport()
         report.rolled_forward, report.rolled_back = self.recover()
 
@@ -675,18 +694,19 @@ class ShardStore:
         to a monolithic collection with the same seeds.  Ground truth is
         merged when *every* shard carries it; otherwise ``None``.
         """
-        parts: List[ReportSet] = []
-        truths: List[Optional[GroundTruth]] = []
-        for reports, truth in self.iter_reports():
-            parts.append(reports)
-            truths.append(truth)
-        if not parts:
-            raise ValueError("cannot merge an empty shard store")
-        merged = ReportSet.merge(parts)
-        truth_out: Optional[GroundTruth] = None
-        if all(t is not None for t in truths):
-            truth_out = GroundTruth.merge([t for t in truths if t is not None])
-        return merged, truth_out
+        with _obs_timer("store.load_merged"):
+            parts: List[ReportSet] = []
+            truths: List[Optional[GroundTruth]] = []
+            for reports, truth in self.iter_reports():
+                parts.append(reports)
+                truths.append(truth)
+            if not parts:
+                raise ValueError("cannot merge an empty shard store")
+            merged = ReportSet.merge(parts)
+            truth_out: Optional[GroundTruth] = None
+            if all(t is not None for t in truths):
+                truth_out = GroundTruth.merge([t for t in truths if t is not None])
+            return merged, truth_out
 
     def sufficient_stats(self) -> SufficientStats:
         """Accumulate scoring statistics across shards, streaming.
@@ -706,34 +726,39 @@ class ShardStore:
         """
         if not self.manifest.shards:
             raise ValueError("cannot score an empty shard store")
+        obs_on = _obs_enabled()
         total: Optional[SufficientStats] = None
-        for entry, path in zip(self.manifest.shards, self.shard_paths()):
-            if not os.path.exists(path):
-                raise StaleManifestError(
-                    f"manifest lists {entry.filename} but the file is missing; "
-                    "run audit() to quarantine it"
+        with _obs_timer("store.stream_stats"):
+            for entry, path in zip(self.manifest.shards, self.shard_paths()):
+                if not os.path.exists(path):
+                    raise StaleManifestError(
+                        f"manifest lists {entry.filename} but the file is missing; "
+                        "run audit() to quarantine it"
+                    )
+                if obs_on:
+                    _obs_inc("store.shards_streamed")
+                    _obs_inc("store.bytes_streamed", os.path.getsize(path))
+                try:
+                    F, S, F_obs, S_obs, num_failing, num_successful, table_sha = (
+                        load_shard_stats(path)
+                    )
+                except ArchiveError as exc:
+                    raise ShardCorruptionError(entry.filename, str(exc)) from exc
+                if table_sha is not None and table_sha != self.manifest.table_sha:
+                    raise ShardIntegrityError(
+                        entry.filename,
+                        f"carries table signature {table_sha[:12]}..., manifest "
+                        f"expects {self.manifest.table_sha[:12]}...",
+                    )
+                part = SufficientStats(
+                    F=F,
+                    S=S,
+                    F_obs=F_obs,
+                    S_obs=S_obs,
+                    num_failing=num_failing,
+                    num_successful=num_successful,
                 )
-            try:
-                F, S, F_obs, S_obs, num_failing, num_successful, table_sha = (
-                    load_shard_stats(path)
-                )
-            except ArchiveError as exc:
-                raise ShardCorruptionError(entry.filename, str(exc)) from exc
-            if table_sha is not None and table_sha != self.manifest.table_sha:
-                raise ShardIntegrityError(
-                    entry.filename,
-                    f"carries table signature {table_sha[:12]}..., manifest "
-                    f"expects {self.manifest.table_sha[:12]}...",
-                )
-            part = SufficientStats(
-                F=F,
-                S=S,
-                F_obs=F_obs,
-                S_obs=S_obs,
-                num_failing=num_failing,
-                num_successful=num_successful,
-            )
-            total = part if total is None else total.add(part)
+                total = part if total is None else total.add(part)
         assert total is not None
         return total
 

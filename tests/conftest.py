@@ -18,6 +18,19 @@ from repro.subjects.moss import MossSubject
 from repro.subjects.rhythmbox import RhythmboxSubject
 
 
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    """Leave every test with observability off.
+
+    Tests that configure ``repro.obs`` must not leak an enabled registry
+    into unrelated tests -- the subsystem is process-global by design.
+    """
+    from repro import obs
+
+    yield
+    obs.shutdown()
+
+
 def _small_experiment(subject, n_runs, training_runs=60, **kwargs):
     config = Experiment(
         subject=subject,

@@ -1,0 +1,51 @@
+"""Smoke-run every script in examples/ at tiny scale.
+
+Each example honours ``REPRO_EXAMPLE_RUNS`` (and the online monitor
+additionally ``REPRO_EXAMPLE_REPLAYS``), so the full demo narrative
+executes in seconds per script.  The assertions are deliberately
+shallow -- exit status and a non-empty stdout -- because the examples'
+statistical claims need the full run counts; what this pins is that
+every import, API call and format string in the examples still works.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+EXAMPLES = sorted(glob.glob(os.path.join(REPO_ROOT, "examples", "*.py")))
+
+#: Trial counts small enough to finish fast, large enough that every
+#: subject still sees a handful of failures (the examples tolerate
+#: sparse populations; they just print shorter tables).
+TINY_RUNS = "120"
+TINY_REPLAYS = "20"
+
+
+def test_examples_directory_is_covered():
+    assert len(EXAMPLES) == 6, "new example? add it to the smoke run"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[os.path.basename(p) for p in EXAMPLES])
+def test_example_runs_clean_at_tiny_scale(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    env["REPRO_EXAMPLE_RUNS"] = TINY_RUNS
+    env["REPRO_EXAMPLE_REPLAYS"] = TINY_REPLAYS
+    result = subprocess.run(
+        [sys.executable, script],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{os.path.basename(script)} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), "examples narrate what they show"

@@ -228,3 +228,77 @@ class TestFaultInjectionCLI:
         capsys.readouterr()
         with pytest.raises(StaleManifestError, match="audit"):
             main(["analyze", str(store_dir), "--stats-only", "--no-audit"])
+
+
+class TestObservabilityCLI:
+    def _collect(self, store_dir, *extra):
+        return main(
+            [
+                "collect", "--subject", "ccrypt", "--runs", "60",
+                "--out", str(store_dir),
+                "--jobs", "2", "--chunk-size", "20", "--seed", "0",
+                *extra,
+            ]
+        )
+
+    def test_collect_writes_metrics_and_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.metrics import METRICS_SCHEMA
+        from repro.obs.trace import read_trace
+
+        metrics_path = tmp_path / "METRICS.json"
+        trace_path = tmp_path / "TRACE.jsonl"
+        code = self._collect(
+            tmp_path / "store",
+            "--metrics", str(metrics_path),
+            "--trace", str(trace_path),
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "wrote metrics" in err and "wrote trace spans" in err
+
+        doc = json.loads(metrics_path.read_text())
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["counters"]["collect.chunks"] == 3
+        assert doc["counters"]["store.shards_committed"] == 3
+        assert "collect.worker_chunk" in doc["timers"]
+
+        names = {event["name"] for event in read_trace(str(trace_path))}
+        assert {"collect.session", "collect.worker_chunk"} <= names
+
+    def test_collect_without_flags_leaves_obs_off(self, capsys, tmp_path):
+        from repro import obs
+
+        assert self._collect(tmp_path / "store") == 0
+        assert not obs.enabled()
+        assert "wrote metrics" not in capsys.readouterr().err
+
+    def test_analyze_profile_prints_timer_table(self, capsys, tmp_path):
+        self._collect(tmp_path / "store")
+        capsys.readouterr()
+        assert main(["analyze", str(tmp_path / "store"), "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "timer" in captured.err
+        assert "store.stream_stats" in captured.err
+        assert "Importance" not in captured.err  # results stay on stdout
+
+    def test_bench_appends_both_documents(self, capsys, tmp_path):
+        from repro.obs.bench import validate_file
+
+        code = main(
+            [
+                "bench", "--quick", "--scale", "0.01",
+                "--out-dir", str(tmp_path), "--label", "cli-test",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BENCH_collection.json" in out and "BENCH_analysis.json" in out
+        for name, kind in (
+            ("BENCH_collection.json", "collection"),
+            ("BENCH_analysis.json", "analysis"),
+        ):
+            doc = validate_file(str(tmp_path / name))
+            assert doc["kind"] == kind
+            assert doc["entries"][0]["label"] == "cli-test"

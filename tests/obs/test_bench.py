@@ -1,0 +1,168 @@
+"""Tests for the ``repro-cbi bench`` schema, appenders and docs gate."""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+
+import pytest
+
+from repro.obs import bench
+from repro.obs.bench import (
+    ANALYSIS_FILE,
+    BENCH_SCHEMA,
+    COLLECTION_FILE,
+    BenchSchemaError,
+    append_entry,
+    check_against_docs,
+    documented_examples,
+    make_entry,
+    run_bench,
+    validate_bench_document,
+    validate_file,
+)
+
+DOCS_PAGE = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "docs",
+    "OBSERVABILITY.md",
+)
+
+
+def _scenario(name="collection_throughput"):
+    return {
+        "name": name,
+        "subject": "ccrypt",
+        "params": {"runs": 40},
+        "metrics": {"wall_seconds": 1.5, "runs_per_sec": 26.7},
+    }
+
+
+def _document(kind="collection"):
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": kind,
+        "entries": [make_entry([_scenario()], quick=True, label="test")],
+    }
+
+
+class TestValidation:
+    def test_valid_document_passes(self):
+        validate_bench_document(_document())
+
+    def test_rejects_wrong_schema(self):
+        doc = _document()
+        doc["schema"] = "repro-bench/v0"
+        with pytest.raises(BenchSchemaError, match="schema"):
+            validate_bench_document(doc)
+
+    def test_rejects_unknown_kind(self):
+        doc = _document()
+        doc["kind"] = "misc"
+        with pytest.raises(BenchSchemaError, match="kind"):
+            validate_bench_document(doc)
+
+    def test_rejects_empty_scenarios(self):
+        doc = _document()
+        doc["entries"][0]["scenarios"] = []
+        with pytest.raises(BenchSchemaError, match="scenarios"):
+            validate_bench_document(doc)
+
+    def test_rejects_boolean_metric(self):
+        doc = _document()
+        doc["entries"][0]["scenarios"][0]["metrics"]["ok"] = True
+        with pytest.raises(BenchSchemaError, match="must be a number"):
+            validate_bench_document(doc)
+
+    def test_rejects_non_numeric_metric(self):
+        doc = _document()
+        doc["entries"][0]["scenarios"][0]["metrics"]["wall_seconds"] = "fast"
+        with pytest.raises(BenchSchemaError, match="must be a number"):
+            validate_bench_document(doc)
+
+    def test_rejects_missing_environment_key(self):
+        doc = _document()
+        del doc["entries"][0]["environment"]["cpu_count"]
+        with pytest.raises(BenchSchemaError, match="cpu_count"):
+            validate_bench_document(doc)
+
+
+class TestAppendEntry:
+    def test_creates_then_appends(self, tmp_path):
+        path = str(tmp_path / COLLECTION_FILE)
+        append_entry(path, "collection", make_entry([_scenario()], True, "a"))
+        doc = append_entry(path, "collection", make_entry([_scenario()], True, "b"))
+        assert [e["label"] for e in doc["entries"]] == ["a", "b"]
+        assert validate_file(path)["kind"] == "collection"
+
+    def test_refuses_kind_mismatch(self, tmp_path):
+        path = str(tmp_path / COLLECTION_FILE)
+        append_entry(path, "collection", make_entry([_scenario()], True, "a"))
+        with pytest.raises(BenchSchemaError, match="refusing to append"):
+            append_entry(path, "analysis", make_entry([_scenario()], True, "b"))
+
+    def test_refuses_corrupt_existing_document(self, tmp_path):
+        path = tmp_path / COLLECTION_FILE
+        path.write_text(json.dumps({"schema": "other", "entries": []}))
+        with pytest.raises(BenchSchemaError):
+            append_entry(str(path), "collection", make_entry([_scenario()], True, "a"))
+
+
+class TestDocsGate:
+    def test_docs_page_documents_both_kinds(self):
+        examples = documented_examples(DOCS_PAGE)
+        kinds = {example["kind"] for example in examples}
+        assert kinds == {"collection", "analysis"}
+        for example in examples:
+            validate_bench_document(example)
+
+    def test_documented_examples_agree_with_their_own_skeleton(self):
+        for example in documented_examples(DOCS_PAGE):
+            check_against_docs(example, DOCS_PAGE)
+
+    def test_structural_drift_is_caught(self):
+        example = copy.deepcopy(documented_examples(DOCS_PAGE)[0])
+        example["entries"][0]["git_sha"] = "abc123"  # undocumented field
+        with pytest.raises(BenchSchemaError, match="diverges"):
+            check_against_docs(example, DOCS_PAGE)
+
+    def test_page_without_example_is_an_error(self, tmp_path):
+        page = tmp_path / "EMPTY.md"
+        page.write_text("# nothing here\n")
+        with pytest.raises(BenchSchemaError, match="no repro-bench"):
+            check_against_docs(_document(), str(page))
+
+
+class TestCli:
+    def test_check_accepts_valid_file(self, tmp_path, capsys):
+        path = str(tmp_path / COLLECTION_FILE)
+        append_entry(path, "collection", make_entry([_scenario()], True, "a"))
+        assert bench.main(["--check", path, "--docs", DOCS_PAGE]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_rejects_invalid_file(self, tmp_path, capsys):
+        path = tmp_path / "BAD.json"
+        path.write_text(json.dumps({"schema": "nope"}))
+        assert bench.main(["--check", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().err
+
+
+class TestRoundTrip:
+    def test_tiny_bench_emits_documented_schema(self, tmp_path):
+        """End-to-end: run the real scenarios at minimum scale, then hold
+        the emitted documents to the same gate CI applies."""
+        collection_path, analysis_path = run_bench(
+            out_dir=str(tmp_path), quick=True, scale=0.01, label="roundtrip"
+        )
+        assert os.path.basename(collection_path) == COLLECTION_FILE
+        assert os.path.basename(analysis_path) == ANALYSIS_FILE
+        for path, kind in ((collection_path, "collection"), (analysis_path, "analysis")):
+            doc = validate_file(path)
+            assert doc["kind"] == kind
+            assert doc["entries"][0]["label"] == "roundtrip"
+            check_against_docs(doc, DOCS_PAGE)
+        names = {s["name"] for s in validate_file(collection_path)["entries"][0]["scenarios"]}
+        assert {"collection_throughput", "sharded_collection_throughput"} <= names
+        names = {s["name"] for s in validate_file(analysis_path)["entries"][0]["scenarios"]}
+        assert {"scoring_latency", "streaming_merge"} <= names

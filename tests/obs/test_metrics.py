@@ -1,0 +1,168 @@
+"""Unit tests for the metrics registry and the module-level facade."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import METRICS_SCHEMA, NULL_TIMER, MetricsRegistry, format_metrics
+
+
+class TestRegistry:
+    def test_counters_accumulate(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        reg.inc("b", 2)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 5, "b": 2}
+
+    def test_gauges_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", 1.0)
+        reg.gauge("g", 7.5)
+        assert reg.snapshot()["gauges"] == {"g": 7.5}
+
+    def test_timer_records_count_total_min_max(self):
+        reg = MetricsRegistry()
+        reg.observe("t", 0.5)
+        reg.observe("t", 1.5)
+        timers = reg.snapshot()["timers"]
+        assert timers["t"]["count"] == 2
+        assert timers["t"]["total_seconds"] == pytest.approx(2.0)
+        assert timers["t"]["min_seconds"] == pytest.approx(0.5)
+        assert timers["t"]["max_seconds"] == pytest.approx(1.5)
+
+    def test_timer_context_manager_measures(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        timers = reg.snapshot()["timers"]
+        assert timers["t"]["count"] == 1
+        assert timers["t"]["total_seconds"] >= 0.0
+
+    def test_merge_adds_counters_and_timers(self):
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        a.inc("c", 1)
+        b.inc("c", 2)
+        a.observe("t", 1.0)
+        b.observe("t", 3.0)
+        b.gauge("g", 9.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"]["c"] == 3
+        assert snap["timers"]["t"]["count"] == 2
+        assert snap["timers"]["t"]["total_seconds"] == pytest.approx(4.0)
+        assert snap["timers"]["t"]["max_seconds"] == pytest.approx(3.0)
+        assert snap["gauges"]["g"] == 9.0
+
+    def test_merge_is_associative_on_counters(self):
+        parts = []
+        for i in range(3):
+            reg = MetricsRegistry()
+            reg.inc("n", i + 1)
+            parts.append(reg.snapshot())
+        left = MetricsRegistry()
+        for snap in parts:
+            left.merge(snap)
+        right = MetricsRegistry()
+        for snap in reversed(parts):
+            right.merge(snap)
+        assert left.snapshot()["counters"] == right.snapshot()["counters"] == {"n": 6}
+
+    def test_reset_zeroes_everything(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.gauge("g", 1.0)
+        reg.observe("t", 1.0)
+        reg.reset()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "timers": {}}
+
+    def test_snapshot_is_json_clean(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.observe("t", 0.25)
+        json.dumps(reg.snapshot())  # must not raise
+
+    def test_thread_safety_of_counters(self):
+        reg = MetricsRegistry()
+
+        def work():
+            for _ in range(1000):
+                reg.inc("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.snapshot()["counters"]["n"] == 4000
+
+    def test_document_carries_schema(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        path = tmp_path / "METRICS.json"
+        reg.write(str(path))
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == METRICS_SCHEMA
+        assert doc["counters"] == {"a": 1}
+        assert {"created_unix", "pid", "gauges", "timers"} <= set(doc)
+
+
+class TestFacade:
+    def test_disabled_is_default_and_noop(self):
+        assert not obs.enabled()
+        obs.inc("x")  # all no-ops, no error
+        obs.gauge("g", 1.0)
+        assert obs.snapshot() is None
+
+    def test_disabled_timer_is_shared_null_singleton(self):
+        # The zero-overhead contract: no allocation on the disabled path.
+        assert obs.timer("anything") is NULL_TIMER
+        assert obs.span("anything", k=1) is NULL_TIMER
+        with obs.timer("anything"):
+            pass
+
+    def test_configure_enables_and_shutdown_disables(self):
+        reg = obs.configure()
+        assert obs.enabled() and obs.registry() is reg
+        obs.inc("x", 2)
+        assert obs.snapshot()["counters"]["x"] == 2
+        obs.shutdown()
+        assert not obs.enabled()
+        assert obs.snapshot() is None
+
+    def test_configure_twice_keeps_registry(self):
+        reg = obs.configure()
+        obs.inc("x")
+        assert obs.configure() is reg
+        assert obs.snapshot()["counters"]["x"] == 1
+
+    def test_span_without_tracer_still_times(self):
+        obs.configure()
+        with obs.span("phase", detail=1):
+            pass
+        assert obs.snapshot()["timers"]["phase"]["count"] == 1
+
+    def test_write_metrics_requires_configuration(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            obs.write_metrics(str(tmp_path / "M.json"))
+
+    def test_merge_snapshot_folds_worker_deltas(self):
+        obs.configure()
+        obs.inc("n", 1)
+        obs.merge_snapshot({"counters": {"n": 4}, "gauges": {}, "timers": {}})
+        assert obs.snapshot()["counters"]["n"] == 5
+
+    def test_format_metrics_renders_all_kinds(self):
+        reg = MetricsRegistry()
+        reg.inc("runs", 7)
+        reg.gauge("rate", 0.25)
+        reg.observe("phase", 0.125)
+        text = format_metrics(reg.snapshot())
+        assert "runs" in text and "rate" in text and "phase" in text

@@ -1,0 +1,86 @@
+"""Observability under the supervised sharded collector.
+
+Forked workers reset the inherited registry, trace their chunk, and ship
+a snapshot back on the result queue; the parent merges snapshots only
+for accepted attempts.  These tests pin the two contracts that matter:
+the merged counters describe exactly the committed population, and
+turning observability on does not perturb the collected data at all
+(shard checksums stay bit-identical).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro import obs
+from repro.harness.parallel import run_trials_sharded
+from repro.instrument.sampling import SamplingPlan
+from repro.obs.trace import read_trace
+from repro.subjects.ccrypt import CcryptSubject
+
+N_RUNS = 40
+CHUNK = 10
+
+
+def _collect(store_dir: str) -> object:
+    return run_trials_sharded(
+        CcryptSubject(),
+        N_RUNS,
+        SamplingPlan.uniform(0.01),
+        store_dir,
+        seed=0,
+        jobs=2,
+        chunk_size=CHUNK,
+    )
+
+
+class TestMergedMetrics:
+    def test_worker_counters_cover_exactly_the_committed_runs(self, tmp_path):
+        obs.configure()
+        _collect(str(tmp_path / "store"))
+        snap = obs.snapshot()
+        counters = snap["counters"]
+        # Every committed trial began exactly one uniform-sampled run in
+        # some worker; the parent's throwaway instrumentation run is the
+        # only `full` one, so `uniform` counts the population exactly.
+        assert counters["runtime.begin_run.uniform"] == N_RUNS
+        assert counters["collect.chunks"] == N_RUNS // CHUNK
+        assert counters["collect.attempts"] == N_RUNS // CHUNK
+        assert counters["collect.retries"] == 0
+        assert counters["store.shards_committed"] == N_RUNS // CHUNK
+        assert counters["store.runs_committed"] == N_RUNS
+        # Worker timers merged in: one worker_chunk span per chunk.
+        assert snap["timers"]["collect.worker_chunk"]["count"] == N_RUNS // CHUNK
+
+    def test_trace_spans_come_from_distinct_processes(self, tmp_path):
+        trace_path = str(tmp_path / "TRACE.jsonl")
+        obs.configure(trace_path=trace_path)
+        _collect(str(tmp_path / "store"))
+        events = read_trace(trace_path)
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        sessions = by_name["collect.session"]
+        assert len(sessions) == 1
+        assert sessions[0]["pid"] == os.getpid()
+        chunks = by_name["collect.worker_chunk"]
+        assert len(chunks) == N_RUNS // CHUNK
+        worker_pids = {event["pid"] for event in chunks}
+        # Each chunk ran in its own forked worker, none of them the parent.
+        assert os.getpid() not in worker_pids
+        assert len(worker_pids) == N_RUNS // CHUNK
+
+
+class TestBitIdentity:
+    def test_shard_checksums_identical_with_and_without_obs(self, tmp_path):
+        plain = _collect(str(tmp_path / "plain"))
+        obs.configure(trace_path=str(tmp_path / "TRACE.jsonl"))
+        try:
+            observed = _collect(str(tmp_path / "observed"))
+            obs.write_metrics(str(tmp_path / "METRICS.json"))
+        finally:
+            obs.shutdown()
+        plain_shas = [entry.sha256 for entry in plain.manifest.shards]
+        observed_shas = [entry.sha256 for entry in observed.manifest.shards]
+        assert plain_shas == observed_shas
+        assert plain.n_runs == observed.n_runs == N_RUNS

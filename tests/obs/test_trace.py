@@ -1,0 +1,107 @@
+"""Unit tests for the JSONL trace writer and its chrome://tracing converter."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    REQUIRED_EVENT_KEYS,
+    TraceWriter,
+    main,
+    read_trace,
+    to_chrome_json,
+)
+
+
+class TestWriter:
+    def test_empty_trace_is_valid(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        TraceWriter(path)
+        assert os.path.exists(path)
+        assert read_trace(path) == []
+
+    def test_span_emits_complete_event(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = TraceWriter(path)
+        with writer.span("phase", chunk=3):
+            pass
+        (event,) = read_trace(path)
+        assert event["name"] == "phase"
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0
+        assert event["pid"] == os.getpid()
+        assert event["args"] == {"chunk": 3}
+
+    def test_span_feeds_registry_timer(self, tmp_path):
+        writer = TraceWriter(str(tmp_path / "t.jsonl"))
+        reg = MetricsRegistry()
+        with writer.span("phase", registry=reg):
+            pass
+        assert reg.snapshot()["timers"]["phase"]["count"] == 1
+
+    def test_instant_emits_point_event(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = TraceWriter(path)
+        writer.instant("retry", chunk=1, reason="timeout")
+        (event,) = read_trace(path)
+        assert event["ph"] == "i"
+        assert event["args"]["reason"] == "timeout"
+        assert set(REQUIRED_EVENT_KEYS) <= set(event)
+
+    def test_each_event_is_one_line(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        writer = TraceWriter(path)
+        for i in range(3):
+            writer.instant("tick", i=i)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)  # every line parses on its own
+
+
+class TestReadTrace:
+    def test_rejects_invalid_json_line(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace(str(path))
+
+    def test_rejects_missing_required_keys(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(json.dumps({"name": "x", "ph": "i"}) + "\n")
+        with pytest.raises(ValueError, match="required keys"):
+            read_trace(str(path))
+
+    def test_rejects_complete_event_without_dur(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        event = {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 1}
+        path.write_text(json.dumps(event) + "\n")
+        with pytest.raises(ValueError, match="dur"):
+            read_trace(str(path))
+
+
+class TestConverter:
+    def test_to_chrome_json_wraps_events(self, tmp_path):
+        src = str(tmp_path / "t.jsonl")
+        dst = str(tmp_path / "t.json")
+        writer = TraceWriter(src)
+        with writer.span("a"):
+            pass
+        writer.instant("b")
+        assert to_chrome_json(src, dst) == 2
+        with open(dst, "r", encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert len(doc["traceEvents"]) == 2
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_cli_defaults_output_next_to_input(self, tmp_path, capsys):
+        src = str(tmp_path / "t.jsonl")
+        TraceWriter(src).instant("b")
+        assert main([src]) == 0
+        assert os.path.exists(str(tmp_path / "t.json"))
+        assert "wrote 1 events" in capsys.readouterr().out
