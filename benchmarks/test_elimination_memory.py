@@ -1,0 +1,115 @@
+"""Elimination memory: per-round cost no longer scales with the matrix.
+
+The pre-engine ``eliminate()`` materialised a fresh working copy of the
+report population every round (a full O(nnz) sparse-matrix copy), so
+peak memory grew with the number of selection rounds and with matrix
+size.  The rewrite keeps two persistent boolean bitsets (active runs,
+working failure labels) and scores each round through masked matvecs,
+so a round allocates only O(runs + predicates) scratch.
+
+Two assertions pin the contract:
+
+* peak traced allocation during elimination stays well under the size
+  of the run matrices themselves (one old-style per-round copy alone
+  would exceed it);
+* peak at many rounds matches peak at few rounds -- rounds-independence.
+"""
+
+import random
+import tracemalloc
+
+from repro.core.elimination import eliminate
+
+from benchmarks.conftest import write_result
+from tests.helpers import make_reports
+
+_N_BUGS = 12
+_RUNS_PER_BUG = 60
+_N_NOISE_PREDS = 120
+_N_SUCC = 1500
+
+
+def _population():
+    """~12 disjoint bugs, each with a dedicated predictor, plus noise
+    predicates so the matrices carry realistic bulk."""
+    n_preds = _N_BUGS + _N_NOISE_PREDS
+    rng = random.Random(1234)
+    runs = []
+    for bug in range(_N_BUGS):
+        for _ in range(_RUNS_PER_BUG):
+            true = {bug}
+            true.update(
+                _N_BUGS + rng.randrange(_N_NOISE_PREDS) for _ in range(8)
+            )
+            runs.append((True, true, None))
+    for _ in range(_N_SUCC):
+        true = {
+            _N_BUGS + rng.randrange(_N_NOISE_PREDS) for _ in range(rng.randrange(6))
+        }
+        runs.append((False, true, None))
+    return make_reports(n_preds, runs)
+
+
+def _matrix_bytes(reports) -> int:
+    total = 0
+    for mat in (
+        reports.true_counts,
+        reports.site_counts,
+        reports.true_indicator(),
+        reports.site_indicator(),
+    ):
+        total += mat.data.nbytes + mat.indices.nbytes + mat.indptr.nbytes
+    return total
+
+
+def _peak_during_eliminate(reports, max_predictors) -> tuple:
+    tracemalloc.start()
+    result = eliminate(reports, max_predictors=max_predictors)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak, result
+
+
+def test_elimination_memory_rounds_independent():
+    reports = _population()
+    # Warm every lazy cache (indicator matrices, CSC views, scipy
+    # internals) so tracemalloc sees only per-call allocations.
+    eliminate(reports, max_predictors=_N_BUGS)
+    matrix_bytes = _matrix_bytes(reports)
+
+    peak_few, few = _peak_during_eliminate(reports, max_predictors=2)
+    peak_many, many = _peak_during_eliminate(reports, max_predictors=_N_BUGS)
+
+    # The workload is real: the many-round pass did many more rounds.
+    assert few.iterations <= 3
+    assert many.iterations >= 8
+    assert many.iterations > few.iterations + 4
+
+    # (a) No per-round matrix copies: one old-style working copy alone
+    # would cost ~matrix_bytes, so peak must sit far below it.
+    assert peak_many < matrix_bytes / 2, (
+        f"peak {peak_many} vs matrices {matrix_bytes}: elimination is "
+        "copying run matrices again"
+    )
+
+    # (b) Rounds-independence: 6x the rounds must not move the peak by
+    # more than round-local scratch (bitsets + score vectors).
+    slack = 512 * 1024
+    assert peak_many <= peak_few * 1.5 + slack, (
+        f"peak grew with rounds: {peak_few} -> {peak_many} "
+        f"({few.iterations} -> {many.iterations} rounds)"
+    )
+
+    write_result(
+        "elimination_memory.txt",
+        "\n".join(
+            [
+                "elimination memory (tracemalloc peak during eliminate())",
+                f"  matrices resident: {matrix_bytes / 1e6:.2f} MB",
+                f"  {few.iterations:>2} rounds: peak {peak_few / 1e3:.1f} KB",
+                f"  {many.iterations:>2} rounds: peak {peak_many / 1e3:.1f} KB",
+                "  contract: peak independent of round count; no per-round",
+                "  matrix copies (two persistent bitsets + masked matvecs)",
+            ]
+        ),
+    )

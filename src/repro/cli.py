@@ -187,6 +187,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="print a timer/counter profile of the analysis to stderr",
     )
+    analyze.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for streaming and scoring; output is "
+        "bit-identical to --jobs 1 for every N",
+    )
 
     bench = sub.add_parser(
         "bench",
@@ -380,8 +385,7 @@ def _collect(args) -> int:
 
 def _analyze_store(args) -> int:
     """Analyse a shard store: streaming pruning, then (optionally) elimination."""
-    from repro.core.elimination import eliminate
-    from repro.core.pruning import prune_predicates
+    from repro.core.engine import AnalysisEngine
     from repro.store import ShardStore
 
     store = ShardStore.open(args.archive)
@@ -423,10 +427,20 @@ def _analyze_store(args) -> int:
         if store.n_shards == 0:
             print("audit left no usable shards; nothing to analyse", file=sys.stderr)
             return 1
-    # Pruning needs only the sufficient statistics, accumulated shard by
-    # shard -- no run matrix is ever materialised for this step.
-    scores = store.compute_scores()
-    pruning = prune_predicates(scores=scores, method=args.method)
+    # All analysis goes through the engine -- at --jobs 1 the same
+    # partitioned code path runs inline, so serial and parallel output
+    # cannot drift apart.  Pruning needs only the sufficient statistics,
+    # streamed shard by shard; no run matrix is materialised for it.
+    engine = AnalysisEngine(jobs=args.jobs)
+    analysis = engine.analyze_store(
+        store,
+        method=args.method,
+        strategy=DiscardStrategy(args.strategy),
+        max_predictors=args.top,
+        stats_only=args.stats_only,
+    )
+    scores = analysis.scores
+    pruning = analysis.pruning
     print(
         f"pruning kept {pruning.n_kept}/{pruning.n_initial} predicates "
         "(scored incrementally)"
@@ -451,15 +465,8 @@ def _analyze_store(args) -> int:
             )
         return 0
 
-    # Elimination simulates discarding runs, which needs run-level data;
-    # materialise the merged population (bit-identical to monolithic).
-    reports, truth = store.load_merged()
-    elimination = eliminate(
-        reports,
-        candidates=pruning.kept,
-        strategy=DiscardStrategy(args.strategy),
-        max_predictors=args.top,
-    )
+    reports, truth = analysis.reports, analysis.truth
+    elimination = analysis.elimination
     co = None
     bug_ids = None
     if truth is not None and truth.bug_ids:
@@ -474,9 +481,8 @@ def _analyze_store(args) -> int:
 
 def _analyze(args) -> int:
     """Re-run the analysis half of the pipeline on a saved archive."""
-    from repro.core.elimination import eliminate
+    from repro.core.engine import AnalysisEngine
     from repro.core.io import load_reports
-    from repro.core.pruning import prune_predicates
 
     reports, truth = load_reports(args.archive)
     print(
@@ -484,13 +490,15 @@ def _analyze(args) -> int:
         f"{reports.n_predicates} predicates",
         file=sys.stderr,
     )
-    pruning = prune_predicates(reports, method=args.method)
-    elimination = eliminate(
+    analysis = AnalysisEngine(jobs=args.jobs).analyze_reports(
         reports,
-        candidates=pruning.kept,
+        truth=truth,
+        method=args.method,
         strategy=DiscardStrategy(args.strategy),
         max_predictors=args.top,
     )
+    pruning = analysis.pruning
+    elimination = analysis.elimination
     co = None
     bug_ids = None
     if truth is not None and truth.bug_ids:

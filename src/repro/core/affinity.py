@@ -21,7 +21,7 @@ import numpy as np
 from repro.core.importance import importance_scores
 from repro.core.predicates import Predicate
 from repro.core.reports import ReportSet
-from repro.core.scores import DEFAULT_CONFIDENCE, compute_scores
+from repro.core.scores import DEFAULT_CONFIDENCE, PredicateScores, compute_scores
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,7 @@ def affinity_list(
     run_mask: Optional[np.ndarray] = None,
     confidence: float = DEFAULT_CONFIDENCE,
     top: Optional[int] = None,
+    before_scores: Optional[PredicateScores] = None,
 ) -> List[AffinityEntry]:
     """Rank predicates by how much selecting ``anchor`` deflates them.
 
@@ -59,6 +60,10 @@ def affinity_list(
         run_mask: Optional run restriction to evaluate within.
         confidence: Confidence level for score intervals.
         top: If given, truncate the list to the ``top`` largest drops.
+        before_scores: Optional precomputed scores for the ``run_mask``
+            population; interactive tools building one affinity list per
+            selected predictor pass the shared baseline once instead of
+            rescoring it per anchor.
 
     Returns:
         Affinity entries sorted by decreasing drop, anchor excluded.
@@ -73,7 +78,8 @@ def affinity_list(
     else:
         candidates = np.asarray(candidates, dtype=bool)
 
-    before_scores = compute_scores(reports, run_mask=run_mask, confidence=confidence)
+    if before_scores is None:
+        before_scores = compute_scores(reports, run_mask=run_mask, confidence=confidence)
     before = importance_scores(before_scores).importance
 
     without_anchor = run_mask & ~reports.true_mask(anchor)

@@ -119,21 +119,6 @@ def _stats_for(
     )
 
 
-def _working_copy(reports: ReportSet, failed: np.ndarray) -> ReportSet:
-    """Shallow :class:`ReportSet` sharing matrices but with new labels."""
-    work = ReportSet(
-        reports.table,
-        failed,
-        reports.site_counts,
-        reports.true_counts,
-        reports.stacks,
-        reports.metas,
-    )
-    # Share the lazily built CSC cache: run/true structure is unchanged.
-    work._true_csc = reports._csc()
-    return work
-
-
 def eliminate(
     reports: ReportSet,
     candidates: Optional[np.ndarray] = None,
@@ -158,6 +143,19 @@ def eliminate(
 
     Returns:
         An :class:`EliminationResult` with the ranked predictor list.
+
+    Determinism: ties in effective ``Importance`` are broken by predicate
+    index (``np.argmax`` returns the first maximum), so the selection
+    order is a pure function of the population -- independent of
+    candidate-mask construction order, shard layout, and the worker count
+    of the parallel engine that feeds this loop
+    (``tests/core/test_engine_differential.py`` pins this).
+
+    The working state is two persistent boolean bitsets -- run membership
+    (``active``) and outcome labels (``failed_work``) -- mutated in place
+    each round and fed straight into the masked scoring pass, so a round
+    allocates only run- and predicate-length vectors no matter how many
+    rounds run (``benchmarks/test_elimination_memory.py`` pins this).
     """
     n_preds = reports.n_predicates
     if candidates is None:
@@ -182,12 +180,15 @@ def eliminate(
                 break
             if not cand.any() or not active.any():
                 break
-            work = _working_copy(reports, failed_work)
-            scores = compute_scores(work, run_mask=active, confidence=confidence)
+            scores = compute_scores(
+                reports, run_mask=active, confidence=confidence, failed_mask=failed_work
+            )
             if scores.num_failing == 0:
                 break
             imp = importance_scores(scores)
             masked = np.where(cand, imp.importance, -np.inf)
+            # np.argmax returns the first maximum: equal-importance
+            # candidates resolve to the lowest predicate index.
             best = int(np.argmax(masked))
             if not np.isfinite(masked[best]) or masked[best] <= min_importance:
                 break
@@ -218,7 +219,7 @@ def eliminate(
             elif strategy is DiscardStrategy.DISCARD_FAILING:
                 active &= ~(true_mask & failed_work)
             else:  # RELABEL
-                failed_work = failed_work & ~true_mask
+                failed_work &= ~true_mask
 
     if _obs_enabled():
         _obs_inc("analysis.elimination_iterations", iterations)

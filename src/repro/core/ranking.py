@@ -84,6 +84,40 @@ def rank_predicates(
     """
     if scores is None:
         scores = compute_scores(reports, confidence=confidence)
+    return rank_from_scores(
+        reports.table, scores, strategy, candidates=candidates, top=top
+    )
+
+
+def rank_from_scores(
+    table,
+    scores: PredicateScores,
+    strategy: RankingStrategy,
+    candidates: Optional[np.ndarray] = None,
+    top: Optional[int] = None,
+) -> RankingResult:
+    """Rank precomputed scores without any run-level data.
+
+    The scores may come from anywhere that produces a
+    :class:`~repro.core.scores.PredicateScores` -- a materialised
+    population, incrementally accumulated shard statistics
+    (``SufficientStats.to_scores``), or the parallel engine's
+    predicate-partitioned scoring -- which is what lets ``analyze
+    --stats-only`` rank a store without reconstructing a single run.
+
+    Ties in the sort key resolve in predicate-index order: the stable
+    descending argsort keeps equal-key predicates in their original
+    (ascending-index) positions.
+
+    Args:
+        table: The :class:`~repro.core.predicates.PredicateTable` the
+            score rows refer to.
+        scores: Scores for every predicate in ``table``.
+        strategy: Which sort key to use.
+        candidates: Boolean candidate mask (default: ``Increase`` positive
+            and defined, as in :func:`rank_predicates`).
+        top: Optional truncation of the returned list.
+    """
     imp = importance_scores(scores)
 
     if candidates is None:
@@ -107,7 +141,7 @@ def rank_predicates(
         entries.append(
             RankedPredicate(
                 rank=rank,
-                predicate=reports.table.predicates[int(idx)],
+                predicate=table.predicates[int(idx)],
                 row=scores.row(int(idx)),
                 importance=float(imp.importance[idx]),
                 sort_key=float(key[idx]),

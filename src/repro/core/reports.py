@@ -160,6 +160,8 @@ class ReportSet:
             [p.site_index for p in table.predicates], dtype=np.int64
         )
         self._true_csc: Optional[sparse.csc_matrix] = None
+        self._true_ind: Optional[sparse.csc_matrix] = None
+        self._site_ind: Optional[sparse.csc_matrix] = None
 
     # ------------------------------------------------------------------
     # Shape and basic statistics
@@ -196,6 +198,39 @@ class ReportSet:
         if self._true_csc is None:
             self._true_csc = self.true_counts.tocsc()
         return self._true_csc
+
+    @staticmethod
+    def _indicator(counts: sparse.csr_matrix) -> sparse.csc_matrix:
+        """0/1 int64 copy of a count matrix, in CSC for fast column sums.
+
+        Stored entries that happen to be zero (none are written by
+        :class:`ReportBuilder`, but archives are not trusted) map to 0,
+        matching ``counts.astype(bool)``.
+        """
+        return sparse.csc_matrix(
+            sparse.csr_matrix(
+                ((counts.data != 0).astype(np.int64), counts.indices, counts.indptr),
+                shape=counts.shape,
+            )
+        )
+
+    def true_indicator(self) -> sparse.csc_matrix:
+        """Cached ``R(P) = 1`` indicator matrix (``(n_runs, n_preds)``, int64).
+
+        Masked column sums over this matrix -- one sparse matvec per
+        outcome class -- are what :func:`repro.core.scores.sufficient_counts`
+        reduces to, so the cache is built once per population instead of
+        ``astype(bool)`` allocating a fresh copy on every scoring round.
+        """
+        if self._true_ind is None:
+            self._true_ind = self._indicator(self.true_counts)
+        return self._true_ind
+
+    def site_indicator(self) -> sparse.csc_matrix:
+        """Cached site-observed indicator matrix (``(n_runs, n_sites)``, int64)."""
+        if self._site_ind is None:
+            self._site_ind = self._indicator(self.site_counts)
+        return self._site_ind
 
     def runs_where_true(self, predicate_index: int) -> np.ndarray:
         """Return the run indices where ``R(P) = 1`` for the predicate."""

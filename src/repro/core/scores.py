@@ -145,18 +145,23 @@ class ScoreRow:
         return self.S == 0 and self.F > 0
 
 
-def _column_sums(bool_matrix: sparse.spmatrix, row_mask: np.ndarray) -> np.ndarray:
-    """Sum a sparse boolean matrix's columns over the selected rows."""
-    idx = np.flatnonzero(row_mask)
-    if idx.size == 0:
-        return np.zeros(bool_matrix.shape[1], dtype=np.int64)
-    sub = bool_matrix[idx]
-    return np.asarray(sub.sum(axis=0), dtype=np.int64).ravel()
+def _masked_column_sums(
+    indicator: sparse.spmatrix, row_mask: np.ndarray
+) -> np.ndarray:
+    """Column sums of a 0/1 int64 indicator matrix over the masked rows.
+
+    One sparse matvec (``indicator.T @ mask``); the per-row submatrix the
+    previous implementation sliced out is never materialised, so repeated
+    masked counts (the elimination loop, affinity lists) allocate only
+    run- and predicate-length vectors per call.
+    """
+    return np.asarray(indicator.T @ row_mask.astype(np.int64), dtype=np.int64)
 
 
 def sufficient_counts(
     reports: ReportSet,
     run_mask: Optional[np.ndarray] = None,
+    failed_mask: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int, int]:
     """Extract the per-predicate sufficient statistics of Section 3.1.
 
@@ -166,26 +171,36 @@ def sufficient_counts(
     *sufficient statistics* for the scoring pass.  They are integer counts
     and therefore add exactly across disjoint run populations, which is
     what makes shard-by-shard incremental scoring
-    (:mod:`repro.store.incremental`) bit-identical to the monolithic path.
+    (:mod:`repro.store.incremental`) and the partition-and-merge parallel
+    engine (:mod:`repro.core.engine`) bit-identical to the monolithic path.
+
+    Args:
+        reports: The feedback-report population.
+        run_mask: Optional boolean mask restricting which runs count.
+        failed_mask: Optional boolean array overriding ``reports.failed``
+            as the outcome labelling.  The elimination loop's ``RELABEL``
+            strategy passes its working labels here instead of rebuilding
+            a relabelled :class:`~repro.core.reports.ReportSet` per round.
 
     Returns:
         ``(F, S, F_obs, S_obs, num_failing, num_successful)``.
     """
+    failed = reports.failed if failed_mask is None else np.asarray(failed_mask, dtype=bool)
     if run_mask is None:
-        run_mask = np.ones(reports.n_runs, dtype=bool)
+        fail_rows = failed
+        succ_rows = ~failed
     else:
         run_mask = np.asarray(run_mask, dtype=bool)
+        fail_rows = run_mask & failed
+        succ_rows = run_mask & ~failed
 
-    fail_rows = run_mask & reports.failed
-    succ_rows = run_mask & ~reports.failed
+    true_ind = reports.true_indicator()
+    site_ind = reports.site_indicator()
 
-    true_bool = reports.true_counts.astype(bool)
-    site_bool = reports.site_counts.astype(bool)
-
-    F = _column_sums(true_bool, fail_rows)
-    S = _column_sums(true_bool, succ_rows)
-    F_obs_site = _column_sums(site_bool, fail_rows)
-    S_obs_site = _column_sums(site_bool, succ_rows)
+    F = _masked_column_sums(true_ind, fail_rows)
+    S = _masked_column_sums(true_ind, succ_rows)
+    F_obs_site = _masked_column_sums(site_ind, fail_rows)
+    S_obs_site = _masked_column_sums(site_ind, succ_rows)
     F_obs = F_obs_site[reports.pred_site]
     S_obs = S_obs_site[reports.pred_site]
     return F, S, F_obs, S_obs, int(fail_rows.sum()), int(succ_rows.sum())
@@ -195,6 +210,7 @@ def compute_scores(
     reports: ReportSet,
     run_mask: Optional[np.ndarray] = None,
     confidence: float = DEFAULT_CONFIDENCE,
+    failed_mask: Optional[np.ndarray] = None,
 ) -> PredicateScores:
     """Compute all Section 3.1-3.2 scores for every predicate.
 
@@ -203,13 +219,15 @@ def compute_scores(
         run_mask: Optional boolean mask restricting the population (used by
             the elimination loop to rescore after discarding runs).
         confidence: Confidence level for the ``Increase`` interval.
+        failed_mask: Optional outcome-label override (see
+            :func:`sufficient_counts`).
 
     Returns:
         A :class:`PredicateScores` with one entry per predicate.
     """
     with _obs_timer("scores.compute"):
         F, S, F_obs, S_obs, num_failing, num_successful = sufficient_counts(
-            reports, run_mask
+            reports, run_mask, failed_mask=failed_mask
         )
         return scores_from_counts(
             F, S, F_obs, S_obs, num_failing, num_successful, confidence=confidence

@@ -8,9 +8,11 @@ documents at the repo root (or ``--out-dir``):
   supervised sharded collector's end-to-end throughput including its
   disk commits;
 * ``BENCH_analysis.json`` -- analysis-side scenarios: streaming-merge
-  bandwidth (MB/s over the shard bytes) and end-to-end scoring latency
+  bandwidth (MB/s over the shard bytes), end-to-end scoring latency
   (streamed sufficient statistics -> scores -> pruning) at three store
-  sizes.
+  sizes, and the parallel engine's serial-vs-``--jobs 4`` scoring walls
+  at the same sizes (speedup is hardware-relative: the entry's
+  ``environment.cpu_count`` says how many cores the measurement had).
 
 Both documents share schema :data:`BENCH_SCHEMA` (``repro-bench/v1``),
 documented with a worked example in ``docs/OBSERVABILITY.md``; the
@@ -193,6 +195,34 @@ def run_analysis_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
                         "wall_seconds": wall,
                         "runs_per_sec": size / max(wall, 1e-9),
                         "predicates_kept": float(pruning.n_kept),
+                    },
+                    subject="ccrypt",
+                )
+            )
+
+        # Serial vs parallel engine scoring at each size: the same
+        # partitioned pipeline at --jobs 1 and --jobs 4 (bit-identical
+        # outputs; only the wall clock may differ, and only when the
+        # host actually has cores to spend -- see environment.cpu_count).
+        from repro.core.engine import AnalysisEngine
+
+        for size, store_dir in store_dirs:
+            store = ShardStore.open(store_dir)
+            walls = {}
+            for jobs in (1, 4):
+                engine = AnalysisEngine(jobs=jobs)
+                start = time.perf_counter()
+                stats = engine.store_stats(store)
+                engine.score_stats(stats)
+                walls[jobs] = time.perf_counter() - start
+            scenarios.append(
+                _scenario(
+                    "parallel_analyze",
+                    {"runs": size, "shards": store.n_shards, "jobs": 4},
+                    {
+                        "serial_wall_seconds": walls[1],
+                        "parallel_wall_seconds": walls[4],
+                        "speedup": walls[1] / max(walls[4], 1e-9),
                     },
                     subject="ccrypt",
                 )

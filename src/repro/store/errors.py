@@ -29,6 +29,13 @@ class ShardCorruptionError(StoreError):
         self.filename = filename
         self.detail = detail
 
+    def __reduce__(self):
+        # BaseException pickles as ``cls(*self.args)``, which breaks for
+        # multi-argument constructors; these errors cross process
+        # boundaries (analysis-engine workers raise them inside a pool
+        # map), so spell out the real constructor arguments.
+        return (type(self), (self.filename, self.detail))
+
 
 class ShardIntegrityError(StoreError):
     """A shard is readable but inconsistent with the store's manifest.
@@ -42,6 +49,10 @@ class ShardIntegrityError(StoreError):
         super().__init__(f"shard {filename} fails integrity check: {detail}")
         self.filename = filename
         self.detail = detail
+
+    def __reduce__(self):
+        # See ShardCorruptionError.__reduce__.
+        return (type(self), (self.filename, self.detail))
 
 
 class DuplicateSeedRangeError(StoreError):
@@ -77,3 +88,7 @@ class CollectionError(StoreError):
         self.count = count
         self.attempts = attempts
         self.detail = detail
+
+    def __reduce__(self):
+        # See ShardCorruptionError.__reduce__.
+        return (type(self), (self.seed_start, self.count, self.attempts, self.detail))

@@ -110,6 +110,51 @@ def shard_filename(seed_start: int) -> str:
     return f"shard-{seed_start:08d}.npz"
 
 
+def load_entry_stats(directory: str, entry: "ShardEntry", table_sha: str) -> SufficientStats:
+    """Load and verify one committed shard's embedded sufficient statistics.
+
+    The single per-shard step of the streaming scorer, factored out at
+    module level so the serial loop (:meth:`ShardStore.sufficient_stats`)
+    and the parallel engine's forked workers
+    (:mod:`repro.core.engine`) run the *same* bytes-to-counts code --
+    including the missing-file, unreadable and table-mismatch errors.
+
+    Raises:
+        StaleManifestError: The shard file is missing.
+        ShardCorruptionError: Its bytes fail to parse.
+        ShardIntegrityError: It carries a different predicate table.
+    """
+    path = os.path.join(directory, entry.filename)
+    if not os.path.exists(path):
+        raise StaleManifestError(
+            f"manifest lists {entry.filename} but the file is missing; "
+            "run audit() to quarantine it"
+        )
+    if _obs_enabled():
+        _obs_inc("store.shards_streamed")
+        _obs_inc("store.bytes_streamed", os.path.getsize(path))
+    try:
+        F, S, F_obs, S_obs, num_failing, num_successful, shard_sha = (
+            load_shard_stats(path)
+        )
+    except ArchiveError as exc:
+        raise ShardCorruptionError(entry.filename, str(exc)) from exc
+    if shard_sha is not None and shard_sha != table_sha:
+        raise ShardIntegrityError(
+            entry.filename,
+            f"carries table signature {shard_sha[:12]}..., manifest "
+            f"expects {table_sha[:12]}...",
+        )
+    return SufficientStats(
+        F=F,
+        S=S,
+        F_obs=F_obs,
+        S_obs=S_obs,
+        num_failing=num_failing,
+        num_successful=num_successful,
+    )
+
+
 def pending_name(filename: str) -> str:
     """The staging name a shard occupies before its manifest commit."""
     return filename + PENDING_SUFFIX
@@ -708,13 +753,20 @@ class ShardStore:
                 truth_out = GroundTruth.merge([t for t in truths if t is not None])
             return merged, truth_out
 
-    def sufficient_stats(self) -> SufficientStats:
+    def sufficient_stats(self, jobs: int = 1) -> SufficientStats:
         """Accumulate scoring statistics across shards, streaming.
 
         For format-v2 shards this reads only the six embedded statistic
         arrays per shard -- the run-by-predicate matrices are never
         reconstructed, so parent memory is bounded by one predicate-length
         array set regardless of how many runs the store holds.
+
+        Args:
+            jobs: With ``jobs > 1``, disjoint shard subsets stream in
+                that many forked workers and the partial sums tree-merge
+                in the parent (:mod:`repro.core.engine`).  The counts are
+                integers, so the result is bit-identical to the serial
+                stream for every worker count.
 
         Raises:
             StaleManifestError: A committed shard file is missing.
@@ -726,46 +778,34 @@ class ShardStore:
         """
         if not self.manifest.shards:
             raise ValueError("cannot score an empty shard store")
-        obs_on = _obs_enabled()
+        if jobs > 1:
+            from repro.core.engine import AnalysisEngine
+
+            return AnalysisEngine(jobs=jobs).store_stats(self)
         total: Optional[SufficientStats] = None
         with _obs_timer("store.stream_stats"):
-            for entry, path in zip(self.manifest.shards, self.shard_paths()):
-                if not os.path.exists(path):
-                    raise StaleManifestError(
-                        f"manifest lists {entry.filename} but the file is missing; "
-                        "run audit() to quarantine it"
-                    )
-                if obs_on:
-                    _obs_inc("store.shards_streamed")
-                    _obs_inc("store.bytes_streamed", os.path.getsize(path))
-                try:
-                    F, S, F_obs, S_obs, num_failing, num_successful, table_sha = (
-                        load_shard_stats(path)
-                    )
-                except ArchiveError as exc:
-                    raise ShardCorruptionError(entry.filename, str(exc)) from exc
-                if table_sha is not None and table_sha != self.manifest.table_sha:
-                    raise ShardIntegrityError(
-                        entry.filename,
-                        f"carries table signature {table_sha[:12]}..., manifest "
-                        f"expects {self.manifest.table_sha[:12]}...",
-                    )
-                part = SufficientStats(
-                    F=F,
-                    S=S,
-                    F_obs=F_obs,
-                    S_obs=S_obs,
-                    num_failing=num_failing,
-                    num_successful=num_successful,
+            for entry in self.manifest.shards:
+                part = load_entry_stats(
+                    self.directory, entry, self.manifest.table_sha
                 )
                 total = part if total is None else total.add(part)
         assert total is not None
         return total
 
     def compute_scores(
-        self, confidence: float = DEFAULT_CONFIDENCE
+        self, confidence: float = DEFAULT_CONFIDENCE, jobs: int = 1
     ) -> PredicateScores:
-        """Score the whole store incrementally (see :mod:`repro.store.incremental`)."""
+        """Score the whole store incrementally (see :mod:`repro.store.incremental`).
+
+        With ``jobs > 1`` both halves run through the parallel engine --
+        shard streaming over run subsets, then scoring over predicate
+        partitions -- with bit-identical results (the engine's contract).
+        """
+        if jobs > 1:
+            from repro.core.engine import AnalysisEngine
+
+            engine = AnalysisEngine(jobs=jobs, confidence=confidence)
+            return engine.scores_from_stats(engine.store_stats(self))
         return self.sufficient_stats().to_scores(confidence=confidence)
 
     def __repr__(self) -> str:

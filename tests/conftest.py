@@ -7,7 +7,25 @@ shared by every test that needs it.
 
 from __future__ import annotations
 
+import os
+import random
+
 import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Optional order shuffling for environments without pytest-randomly.
+
+    CI runs the tier-1 lane under pytest-randomly with a per-commit
+    seed; setting ``REPRO_TEST_SHUFFLE=<seed>`` reproduces that pressure
+    anywhere (tests must not depend on collection order or on state
+    leaked by an earlier test).  No-op when the variable is unset or a
+    real pytest-randomly plugin is active.
+    """
+    seed = os.environ.get("REPRO_TEST_SHUFFLE")
+    if not seed or config.pluginmanager.hasplugin("randomly"):
+        return
+    random.Random(int(seed)).shuffle(items)
 
 from repro.core.elimination import DiscardStrategy
 from repro.harness.experiment import Experiment, run_experiment

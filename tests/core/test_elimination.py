@@ -179,3 +179,50 @@ class TestLemma31:
                 assert profile & covered_runs, (
                     f"bug {bug} intersects predicated runs but got no predictor"
                 )
+
+
+class TestTieDeterminism:
+    """Regression: equal-Importance candidates select in predicate-index
+    order.  ``np.argmax`` takes the first maximum, so the choice is a
+    pure function of the scores -- never of dict ordering, working-copy
+    layout, or worker count (the parallel side is pinned by
+    ``tests/core/test_engine_differential.py``)."""
+
+    def _tied_population(self):
+        # P1 and P3 are perfectly correlated (identical run patterns),
+        # hence exactly tied on Importance; P0/P2 are noise.
+        runs = [
+            (True, {1, 3}, None),
+            (True, {1, 3}, None),
+            (True, {1, 3, 0}, None),
+            (True, {2}, None),
+            (False, {0}, None),
+            (False, {2}, None),
+            (False, set(), None),
+            (False, set(), None),
+        ] * 5
+        return make_reports(4, runs)
+
+    def test_lowest_index_wins_the_tie(self):
+        reports = self._tied_population()
+        scores = compute_scores(reports)
+        from repro.core.importance import importance_scores
+
+        imp = importance_scores(scores).importance
+        assert imp[1] == imp[3]  # the tie is real
+        result = eliminate(reports, max_predictors=2)
+        assert result.selected[0].predicate.index == 1
+
+    def test_tie_break_stable_across_strategies(self):
+        reports = self._tied_population()
+        for strategy in DiscardStrategy:
+            result = eliminate(reports, strategy=strategy, max_predictors=2)
+            assert result.selected[0].predicate.index == 1
+
+    def test_repeated_runs_identical(self):
+        reports = self._tied_population()
+        first = eliminate(reports, max_predictors=4)
+        second = eliminate(reports, max_predictors=4)
+        assert [s.predicate.index for s in first.selected] == [
+            s.predicate.index for s in second.selected
+        ]

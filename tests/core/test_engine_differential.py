@@ -1,0 +1,396 @@
+"""Differential suite: ``analyze --jobs N`` is bit-identical to serial.
+
+The engine's contract (``repro/core/engine.py``) is that worker count,
+shard layout and discard strategy never change a single output bit:
+
+* sufficient statistics -- integer equality across shard layouts
+  {1, 3, 7} and ``--jobs`` {1, 2, 4}, for all five subjects;
+* scores, p-values, pruning -- *bitwise* float equality (``tobytes``,
+  not ``allclose``) against the serial streaming path;
+* elimination rankings -- identical predictor sequences, importances and
+  populations under every discard strategy, with Importance ties
+  resolving in predicate-index order at every worker count;
+* the CLI -- byte-identical stdout for ``--jobs 1`` vs ``--jobs 4``.
+
+These tests are the enforcement arm of the determinism contract
+documented in ``docs/ALGORITHM.md``; weakening any equality here to a
+tolerance is a bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.engine import AnalysisEngine, concat_scores, partition_bounds
+from repro.core.elimination import DiscardStrategy, eliminate
+from repro.core.scores import compute_scores
+from repro.core.truth import bugs_covered
+from repro.instrument.sampling import SamplingPlan
+from repro.store import ShardStore
+from repro.store.incremental import SufficientStats
+
+from tests.helpers import make_reports
+
+#: Session-scoped experiment fixtures covering all five paper subjects.
+SUBJECT_FIXTURES = [
+    "moss_experiment",
+    "ccrypt_experiment",
+    "bc_experiment",
+    "exif_experiment",
+    "rhythmbox_experiment",
+]
+
+SHARD_LAYOUTS = (1, 3, 7)
+JOB_COUNTS = (1, 2, 4)
+
+#: Per-predicate float arrays of PredicateScores, all compared bitwise.
+_SCORE_FIELDS = (
+    "F",
+    "S",
+    "F_obs",
+    "S_obs",
+    "failure",
+    "context",
+    "increase",
+    "increase_se",
+    "increase_lo",
+    "increase_hi",
+    "pf",
+    "ps",
+    "z",
+    "z_defined",
+    "defined",
+)
+
+
+def _build_store(directory, experiment, n_shards):
+    """Shard an experiment's population into ``n_shards`` contiguous parts."""
+    reports, truth = experiment.reports, experiment.truth
+    store = ShardStore.create(
+        str(directory), "differential", reports.table, SamplingPlan.full()
+    )
+    for lo, hi in partition_bounds(reports.n_runs, n_shards):
+        mask = np.zeros(reports.n_runs, dtype=bool)
+        mask[lo:hi] = True
+        store.append_shard(
+            reports.subset(mask), truth=truth.subset(mask), seed_start=lo
+        )
+    return ShardStore.open(store.directory)
+
+
+@pytest.fixture(scope="module")
+def sharded_stores(tmp_path_factory):
+    """Lazy per-subject cache of stores at every shard layout."""
+    cache = {}
+
+    def get(request, fixture_name):
+        if fixture_name not in cache:
+            experiment = request.getfixturevalue(fixture_name)
+            base = tmp_path_factory.mktemp(fixture_name)
+            cache[fixture_name] = {
+                k: _build_store(base / f"shards-{k}", experiment, k)
+                for k in SHARD_LAYOUTS
+            }
+        return cache[fixture_name]
+
+    return get
+
+
+def _assert_scores_bitwise_equal(got, want):
+    for field in _SCORE_FIELDS:
+        assert getattr(got, field).tobytes() == getattr(want, field).tobytes(), field
+    assert got.num_failing == want.num_failing
+    assert got.num_successful == want.num_successful
+
+
+def _assert_stats_equal(got, want):
+    for field in ("F", "S", "F_obs", "S_obs"):
+        np.testing.assert_array_equal(getattr(got, field), getattr(want, field))
+    assert got.num_failing == want.num_failing
+    assert got.num_successful == want.num_successful
+
+
+@pytest.mark.parametrize("subject_fixture", SUBJECT_FIXTURES)
+class TestScoresBitIdentical:
+    def test_stats_scores_and_pruning(self, request, sharded_stores, subject_fixture):
+        """Full layout x jobs matrix: statistics, scores, p-values and
+        pruned sets match the serial stream bit for bit."""
+        stores = sharded_stores(request, subject_fixture)
+        reference = stores[SHARD_LAYOUTS[0]].sufficient_stats()
+        ref_scores = reference.to_scores()
+        for layout, store in stores.items():
+            serial = store.sufficient_stats()
+            _assert_stats_equal(serial, reference)
+            for jobs in JOB_COUNTS:
+                engine = AnalysisEngine(jobs=jobs)
+                stats = engine.store_stats(store)
+                _assert_stats_equal(stats, serial)
+                scoring = engine.score_stats(stats)
+                _assert_scores_bitwise_equal(scoring.scores, ref_scores)
+                np.testing.assert_array_equal(
+                    scoring.pruning.kept,
+                    AnalysisEngine(jobs=1).score_stats(serial).pruning.kept,
+                )
+
+    def test_pvalues_bitwise(self, request, sharded_stores, subject_fixture):
+        """The z-test p-values survive predicate partitioning bitwise."""
+        from repro.core.scores import z_test_pvalues
+
+        store = sharded_stores(request, subject_fixture)[3]
+        stats = store.sufficient_stats()
+        serial = z_test_pvalues(stats.to_scores())
+        for jobs in JOB_COUNTS:
+            scoring = AnalysisEngine(jobs=jobs).score_stats(stats)
+            assert scoring.pvalues.tobytes() == serial.tobytes()
+
+
+@pytest.mark.parametrize("subject_fixture", SUBJECT_FIXTURES)
+@pytest.mark.parametrize("strategy", list(DiscardStrategy))
+class TestEliminationBitIdentical:
+    def test_rankings_match_serial(
+        self, request, sharded_stores, subject_fixture, strategy
+    ):
+        """End-to-end analyze at every worker count reproduces the serial
+        elimination ranking exactly -- order, importances, populations."""
+        store = sharded_stores(request, subject_fixture)[3]
+        reports, _ = store.load_merged()
+        scores = compute_scores(reports)
+        serial_pruning = AnalysisEngine(jobs=1).score_stats(
+            SufficientStats.from_reports(reports)
+        ).pruning
+        reference = eliminate(
+            reports,
+            candidates=serial_pruning.kept,
+            strategy=strategy,
+            max_predictors=6,
+        )
+        assert scores.n_predicates == reports.n_predicates
+        for jobs in JOB_COUNTS:
+            analysis = AnalysisEngine(jobs=jobs).analyze_store(
+                store, strategy=strategy, max_predictors=6
+            )
+            got = analysis.elimination
+            assert [s.predicate.index for s in got.selected] == [
+                s.predicate.index for s in reference.selected
+            ]
+            for g, r in zip(got.selected, reference.selected):
+                assert g.rank == r.rank
+                assert g.predicate.index == r.predicate.index
+                for phase in ("initial", "effective"):
+                    gs, rs = getattr(g, phase), getattr(r, phase)
+                    assert gs.importance == rs.importance
+                    assert gs.importance_lo == rs.importance_lo
+                    assert gs.importance_hi == rs.importance_hi
+                    assert gs.num_failing == rs.num_failing
+                assert g.runs_discarded == r.runs_discarded
+                assert g.failing_runs_covered == r.failing_runs_covered
+            assert got.iterations == reference.iterations
+            assert got.remaining_failing == reference.remaining_failing
+
+
+class TestCliStdoutIdentical:
+    def test_jobs_flag_does_not_change_output(
+        self, request, sharded_stores, capsys
+    ):
+        """``analyze --jobs 4`` prints byte-identical stdout to serial."""
+        store = sharded_stores(request, "ccrypt_experiment")[7]
+        outputs = {}
+        for jobs in (1, 4):
+            code = cli_main(
+                ["analyze", store.directory, "--jobs", str(jobs), "--no-audit"]
+            )
+            assert code == 0
+            outputs[jobs] = capsys.readouterr().out
+        assert outputs[1] == outputs[4]
+
+    def test_stats_only_identical(self, request, sharded_stores, capsys):
+        store = sharded_stores(request, "bc_experiment")[3]
+        outputs = {}
+        for jobs in (1, 4):
+            code = cli_main(
+                [
+                    "analyze",
+                    store.directory,
+                    "--jobs",
+                    str(jobs),
+                    "--stats-only",
+                    "--no-audit",
+                ]
+            )
+            assert code == 0
+            outputs[jobs] = capsys.readouterr().out
+        assert outputs[1] == outputs[4]
+
+
+class TestTieDeterminism:
+    """Importance ties resolve by predicate index -- serial and parallel."""
+
+    def _tied_reports(self):
+        # P1 and P3 are true in exactly the same runs (perfectly
+        # correlated duplicates), so their Importance is identical; P0
+        # and P2 are weaker noise.  The engine must select the lower
+        # index (1) first at every worker count.  The pattern repeats so
+        # the Increase interval clears zero and survives pruning.
+        runs = [
+            (True, {1, 3}, None),
+            (True, {1, 3}, None),
+            (True, {1, 3, 0}, None),
+            (True, {2}, None),
+            (False, {0}, None),
+            (False, {2}, None),
+            (False, set(), None),
+            (False, set(), None),
+        ] * 5
+        return make_reports(4, runs)
+
+    def test_serial_selects_lowest_index(self):
+        reports = self._tied_reports()
+        result = eliminate(reports, max_predictors=2)
+        assert result.selected[0].predicate.index == 1
+
+    def test_parallel_matches_serial_under_ties(self, tmp_path):
+        reports = self._tied_reports()
+        store = ShardStore.create(
+            str(tmp_path / "tied"), "tied", reports.table, SamplingPlan.full()
+        )
+        for lo, hi in partition_bounds(reports.n_runs, 3):
+            mask = np.zeros(reports.n_runs, dtype=bool)
+            mask[lo:hi] = True
+            store.append_shard(reports.subset(mask), seed_start=lo)
+        store = ShardStore.open(store.directory)
+        picks = {}
+        for jobs in JOB_COUNTS:
+            analysis = AnalysisEngine(jobs=jobs).analyze_store(store)
+            picks[jobs] = [s.predicate.index for s in analysis.elimination.selected]
+        assert picks[1][0] == 1
+        assert picks[1] == picks[2] == picks[4]
+
+
+class TestLemma31ThroughEngine:
+    def test_every_intersecting_bug_covered(self, tmp_path):
+        """Lemma 3.1 holds through the parallel path: every bug whose
+        profile intersects the predicated runs gets a predictor."""
+        from repro.core.truth import GroundTruth
+
+        # Two disjoint bugs, each with a faithful predictor, plus noise;
+        # the pattern repeats so both predictors survive pruning.
+        runs = [
+            (True, {0}, None),
+            (True, {0}, None),
+            (True, {0, 2}, None),
+            (True, {1}, None),
+            (True, {1, 2}, None),
+            (False, {2}, None),
+            (False, set(), None),
+            (False, {2}, None),
+        ] * 5
+        reports = make_reports(3, runs)
+        truth = GroundTruth(bug_ids=["bug-a", "bug-b"])
+        bug_of_run = [
+            ["bug-a"], ["bug-a"], ["bug-a"], ["bug-b"], ["bug-b"], [], [], []
+        ] * 5
+        for bugs in bug_of_run:
+            truth.add_run(bugs)
+        store = ShardStore.create(
+            str(tmp_path / "lemma"), "lemma", reports.table, SamplingPlan.full()
+        )
+        for lo, hi in partition_bounds(reports.n_runs, 2):
+            mask = np.zeros(reports.n_runs, dtype=bool)
+            mask[lo:hi] = True
+            store.append_shard(
+                reports.subset(mask), truth=truth.subset(mask), seed_start=lo
+            )
+        store = ShardStore.open(store.directory)
+        for jobs in JOB_COUNTS:
+            analysis = AnalysisEngine(jobs=jobs).analyze_store(store)
+            selected = [s.predicate.index for s in analysis.elimination.selected]
+            covered = bugs_covered(
+                analysis.reports, analysis.truth, selected
+            )
+            assert set(covered) == {"bug-a", "bug-b"}
+
+
+class TestEngineUnit:
+    """Direct engine coverage: partitioning, concatenation, errors."""
+
+    def test_partition_bounds_cover_exactly(self):
+        for n in (0, 1, 2, 5, 17, 100):
+            for parts in (1, 2, 3, 7, 150):
+                bounds = partition_bounds(n, parts)
+                assert len(bounds) == min(max(parts, 1), n) if n else bounds == []
+                flat = [i for lo, hi in bounds for i in range(lo, hi)]
+                assert flat == list(range(n))
+                assert all(hi > lo for lo, hi in bounds)
+
+    def test_partition_bounds_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            partition_bounds(-1, 2)
+
+    def test_concat_scores_roundtrip(self):
+        reports = make_reports(
+            5,
+            [(True, {0, 1}, None), (True, {2}, None), (False, {3}, None)],
+        )
+        stats = SufficientStats.from_reports(reports)
+        whole = stats.to_scores()
+        parts = [
+            stats.slice_predicates(lo, hi).to_scores()
+            for lo, hi in partition_bounds(stats.n_predicates, 3)
+        ]
+        _assert_scores_bitwise_equal(concat_scores(parts), whole)
+
+    def test_concat_scores_single_part_passthrough(self):
+        reports = make_reports(2, [(True, {0}, None), (False, {1}, None)])
+        scores = SufficientStats.from_reports(reports).to_scores()
+        assert concat_scores([scores]) is scores
+
+    def test_concat_scores_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            concat_scores([])
+
+    def test_engine_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            AnalysisEngine(jobs=0)
+
+    def test_empty_store_rejected(self, tmp_path):
+        reports = make_reports(2, [(True, {0}, None)])
+        store = ShardStore.create(
+            str(tmp_path / "empty"), "empty", reports.table, SamplingPlan.full()
+        )
+        with pytest.raises(ValueError, match="empty shard store"):
+            AnalysisEngine(jobs=2).store_stats(store)
+
+    def test_analyze_reports_stats_only(self):
+        reports = make_reports(
+            3, [(True, {0}, None), (True, {0, 1}, None), (False, {2}, None)]
+        )
+        analysis = AnalysisEngine(jobs=2).analyze_reports(reports, stats_only=True)
+        assert analysis.elimination is None
+        reference = compute_scores(reports)
+        _assert_scores_bitwise_equal(analysis.scores, reference)
+
+    def test_corruption_surfaces_from_workers(self, tmp_path):
+        """A damaged shard raises the same typed error through the pool."""
+        from repro.store.errors import StoreError
+
+        reports = make_reports(
+            3, [(True, {0}, None), (False, {1}, None), (False, {2}, None)]
+        )
+        store = ShardStore.create(
+            str(tmp_path / "dmg"), "dmg", reports.table, SamplingPlan.full()
+        )
+        for lo, hi in partition_bounds(reports.n_runs, 3):
+            mask = np.zeros(reports.n_runs, dtype=bool)
+            mask[lo:hi] = True
+            store.append_shard(reports.subset(mask), seed_start=lo)
+        store = ShardStore.open(store.directory)
+        victim = store.shard_paths()[1]
+        with open(victim, "r+b") as fh:
+            fh.seek(30)
+            fh.write(b"\xff\xff\xff\xff")
+        for jobs in (1, 2):
+            with pytest.raises(StoreError) as exc_info:
+                AnalysisEngine(jobs=jobs).store_stats(store)
+            assert "shard" in str(exc_info.value)

@@ -209,3 +209,113 @@ class TestSamplerStateRoundTrip:
         snapshot["kind"] = "quantum"
         with pytest.raises(ValueError, match="unknown sampler kind"):
             runtime.restore_sampler_state(snapshot)
+
+
+class TestSufficientStatsPartitionAlgebra:
+    """The parallel engine's algebra: sufficient statistics are additive
+    over *any* run partition and sliceable over *any* predicate
+    partition, with integer (run axis) and bitwise-float (predicate
+    axis) equality to the monolithic computation.  These are the two
+    halves of the ``analyze --jobs`` bit-identity contract
+    (``repro/core/engine.py``)."""
+
+    @staticmethod
+    def _random_population(data, max_preds=6, max_runs=40):
+        import numpy as np
+
+        from tests.helpers import make_reports
+
+        n_preds = data.draw(st.integers(1, max_preds))
+        n_runs = data.draw(st.integers(1, max_runs))
+        runs = []
+        for _ in range(n_runs):
+            failed = data.draw(st.booleans())
+            true = data.draw(st.sets(st.integers(0, n_preds - 1), max_size=n_preds))
+            # Partial observation exercises F_obs/S_obs too.
+            observed = data.draw(
+                st.one_of(
+                    st.none(),
+                    st.sets(st.integers(0, n_preds - 1), max_size=n_preds),
+                )
+            )
+            runs.append((failed, true, observed))
+        return make_reports(n_preds, runs), np, n_runs
+
+    @settings(max_examples=40, **_SETTINGS)
+    @given(data=st.data())
+    def test_random_run_partition_merges_to_monolithic(self, data):
+        """Any assignment of runs to parts, merged in any tree shape,
+        reproduces the monolithic counts exactly (integer equality)."""
+        from repro.core.scores import sufficient_counts
+        from repro.store.incremental import SufficientStats
+
+        reports, np, n_runs = self._random_population(data)
+        k = data.draw(st.integers(1, 5))
+        assignment = [data.draw(st.integers(0, k - 1)) for _ in range(n_runs)]
+        parts = []
+        for part in range(k):
+            mask = np.array([a == part for a in assignment], dtype=bool)
+            if mask.any():
+                parts.append(SufficientStats.from_reports(reports, run_mask=mask))
+        merged = SufficientStats.merge_tree(parts)
+
+        F, S, F_obs, S_obs, num_failing, num_successful = sufficient_counts(reports)
+        np.testing.assert_array_equal(merged.F, F)
+        np.testing.assert_array_equal(merged.S, S)
+        np.testing.assert_array_equal(merged.F_obs, F_obs)
+        np.testing.assert_array_equal(merged.S_obs, S_obs)
+        assert merged.num_failing == num_failing
+        assert merged.num_successful == num_successful
+
+    @settings(max_examples=40, **_SETTINGS)
+    @given(data=st.data())
+    def test_merge_shape_independence(self, data):
+        """Tree merge equals left fold over any permutation of parts."""
+        from repro.store.incremental import SufficientStats
+
+        reports, np, n_runs = self._random_population(data)
+        k = data.draw(st.integers(1, 5))
+        assignment = [data.draw(st.integers(0, k - 1)) for _ in range(n_runs)]
+        parts = []
+        for part in range(k):
+            mask = np.array([a == part for a in assignment], dtype=bool)
+            parts.append(SufficientStats.from_reports(reports, run_mask=mask))
+        order = data.draw(st.permutations(range(len(parts))))
+        shuffled = [parts[i] for i in order]
+
+        tree = SufficientStats.merge_tree([p + SufficientStats.zeros(p.n_predicates) for p in shuffled])
+        fold = SufficientStats.zeros(parts[0].n_predicates)
+        for p in parts:
+            fold.add(p)
+        np.testing.assert_array_equal(tree.F, fold.F)
+        np.testing.assert_array_equal(tree.S, fold.S)
+        np.testing.assert_array_equal(tree.F_obs, fold.F_obs)
+        np.testing.assert_array_equal(tree.S_obs, fold.S_obs)
+        assert tree.num_failing == fold.num_failing
+        assert tree.num_successful == fold.num_successful
+
+    @settings(max_examples=40, **_SETTINGS)
+    @given(data=st.data())
+    def test_predicate_slices_score_bitwise(self, data):
+        """Scoring predicate slices and concatenating is bitwise equal
+        to scoring the whole table (the predicate-axis half)."""
+        from repro.core.engine import concat_scores, partition_bounds
+        from repro.store.incremental import SufficientStats
+
+        reports, np, _ = self._random_population(data)
+        stats = SufficientStats.from_reports(reports)
+        parts = data.draw(st.integers(1, 8))
+        whole = stats.to_scores()
+        sliced = concat_scores(
+            [
+                stats.slice_predicates(lo, hi).to_scores()
+                for lo, hi in partition_bounds(stats.n_predicates, parts)
+            ]
+        )
+        for field in (
+            "failure", "context", "increase", "increase_se", "increase_lo",
+            "increase_hi", "pf", "ps", "z", "z_defined", "defined",
+        ):
+            assert getattr(sliced, field).tobytes() == getattr(whole, field).tobytes()
+        np.testing.assert_array_equal(sliced.F, whole.F)
+        np.testing.assert_array_equal(sliced.S, whole.S)
