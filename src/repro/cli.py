@@ -53,11 +53,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available subject programs")
+    lister = sub.add_parser("list", help="list available subject programs")
+    lister.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: one JSON document with name, bug "
+        "ids and default trial budget per subject",
+    )
 
     run = sub.add_parser("run", help="run one bug-isolation experiment")
     run.add_argument("--subject", choices=sorted(SUBJECTS), required=True)
-    run.add_argument("--runs", type=int, default=2000, help="number of trials")
+    run.add_argument(
+        "--runs", type=int, default=None,
+        help="number of trials (default: the subject's trial budget, "
+        "see `list --json`)",
+    )
     run.add_argument(
         "--sampling",
         choices=["uniform", "adaptive", "full"],
@@ -79,7 +88,8 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--top", type=int, default=15, help="max predictors to report")
     run.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for trial collection (bit-identical to serial)",
+        help="worker processes (default 1, unified across subcommands; "
+        "output is bit-identical for every value)",
     )
     run.add_argument(
         "--html",
@@ -103,7 +113,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="DIR", required=True,
         help="shard-store directory (created on first use, appended after)",
     )
-    collect.add_argument("--runs", type=int, default=2000, help="number of trials")
+    collect.add_argument(
+        "--runs", type=int, default=None,
+        help="number of trials (default: the subject's trial budget, "
+        "see `list --json`)",
+    )
     collect.add_argument(
         "--sampling",
         choices=["uniform", "adaptive", "full"],
@@ -120,8 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
         "repeated collect sessions extend the population contiguously",
     )
     collect.add_argument(
-        "--jobs", type=int, default=2,
-        help="worker processes; each writes its shards directly to disk",
+        "--jobs", type=int, default=1,
+        help="worker processes (default 1, unified across subcommands; "
+        "each writes its shards directly to disk, bit-identical for "
+        "every value)",
     )
     collect.add_argument(
         "--chunk-size", type=int, default=200, help="trials per shard"
@@ -189,8 +205,114 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analyze.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for streaming and scoring; output is "
-        "bit-identical to --jobs 1 for every N",
+        help="worker processes (default 1, unified across subcommands; "
+        "output is bit-identical for every value)",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the cooperative collection daemon over a store directory",
+    )
+    serve.add_argument(
+        "store",
+        help="shard-store directory to serve (created on first use; an "
+        "existing store pins the subject)",
+    )
+    serve.add_argument(
+        "--subject", choices=sorted(SUBJECTS), default=None,
+        help="subject to collect (required for a new store; must match "
+        "an existing store's manifest)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks a free one (printed on startup)",
+    )
+    serve.add_argument(
+        "--batch-runs", type=int, default=200,
+        help="contiguous seeds per committed shard",
+    )
+    serve.add_argument(
+        "--max-buffered", type=int, default=100_000,
+        help="pending-report bound; uploads past it get 503",
+    )
+    serve.add_argument(
+        "--sampling", choices=["uniform", "adaptive", "full"], default="adaptive",
+        help="sampling plan recorded when creating a new store",
+    )
+    serve.add_argument("--rate", type=float, default=0.01, help="uniform sampling rate")
+    serve.add_argument(
+        "--training-runs", type=int, default=200, help="adaptive training set size"
+    )
+    serve.add_argument(
+        "--metrics", metavar="PATH", default=None,
+        help="also write final serve metrics to PATH on shutdown",
+    )
+    serve.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="append Chrome-compatible trace spans to PATH as JSONL",
+    )
+    serve.add_argument(
+        "--testing", action="store_true",
+        help="enable testing-only options such as --inject-fault",
+    )
+    serve.add_argument(
+        "--inject-fault", action="append", default=[], metavar="SPEC",
+        help="inject a server-side network fault (testing only); SPEC is "
+        "kind@ordinal, e.g. net-500@1 or net-disconnect@2; the ordinal "
+        "counts POST /reports requests; kinds: net-500, net-disconnect, "
+        "net-slow",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="run trials locally, spool the reports, and upload them to a "
+        "collection daemon",
+    )
+    submit.add_argument("--subject", choices=sorted(SUBJECTS), required=True)
+    submit.add_argument(
+        "--url", required=True, help="server base URL, e.g. http://127.0.0.1:8080"
+    )
+    submit.add_argument(
+        "--runs", type=int, default=None,
+        help="trials to run and spool before draining (default: the "
+        "subject's trial budget); 0 drains an existing spool only",
+    )
+    submit.add_argument("--seed", type=int, default=0, help="base trial seed")
+    submit.add_argument(
+        "--spool", metavar="DIR", required=True,
+        help="local disk spool; reports persist here until acknowledged",
+    )
+    submit.add_argument(
+        "--batch-size", type=int, default=32, help="reports per upload request"
+    )
+    submit.add_argument(
+        "--sampling", choices=["uniform", "adaptive", "full"], default="adaptive",
+        help="sampling regime (must match what the server's store expects)",
+    )
+    submit.add_argument("--rate", type=float, default=0.01, help="uniform sampling rate")
+    submit.add_argument(
+        "--training-runs", type=int, default=200, help="adaptive training set size"
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=10.0, help="per-request timeout in seconds"
+    )
+    submit.add_argument(
+        "--max-attempts", type=int, default=8,
+        help="attempts per batch before the drain gives up",
+    )
+    submit.add_argument(
+        "--top", type=int, default=0,
+        help="after draining, fetch and print the top-K live scores",
+    )
+    submit.add_argument(
+        "--testing", action="store_true",
+        help="enable testing-only options such as --inject-fault",
+    )
+    submit.add_argument(
+        "--inject-fault", action="append", default=[], metavar="SPEC",
+        help="inject a client-side network fault (testing only); SPEC is "
+        "net-refuse@batch[#attempt]",
     )
 
     bench = sub.add_parser(
@@ -222,6 +344,20 @@ def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "list":
+        if args.json:
+            import json
+
+            document = [
+                {
+                    "name": name,
+                    "bug_ids": list(SUBJECTS[name]().bug_ids),
+                    "bug_count": len(SUBJECTS[name]().bug_ids),
+                    "trial_budget": SUBJECTS[name]().trial_budget,
+                }
+                for name in sorted(SUBJECTS)
+            ]
+            print(json.dumps(document, indent=2, sort_keys=True))
+            return 0
         for name in sorted(SUBJECTS):
             subject = SUBJECTS[name]()
             print(f"{name:<12} bugs: {', '.join(subject.bug_ids)}")
@@ -259,7 +395,15 @@ def main(argv=None) -> int:
     if args.command == "collect":
         return _collect(args)
 
+    if args.command == "serve":
+        return _serve(args)
+
+    if args.command == "submit":
+        return _submit(args)
+
     subject = SUBJECTS[args.subject]()
+    if args.runs is None:
+        args.runs = subject.trial_budget
     config = Experiment(
         subject=subject,
         n_runs=args.runs,
@@ -300,27 +444,197 @@ def main(argv=None) -> int:
     return 0
 
 
+def _cli_faults(args):
+    """Parse ``--inject-fault`` specs behind the ``--testing`` gate.
+
+    Returns ``(exit_code, faults)``; a non-zero code means the command
+    must refuse (faults requested without ``--testing``).
+    """
+    from repro.store import parse_faults
+
+    if not args.inject_fault:
+        return 0, None
+    if not args.testing:
+        print(
+            "error: --inject-fault is a testing-only option; "
+            "pass --testing to acknowledge",
+            file=sys.stderr,
+        )
+        return 2, None
+    return 0, tuple(
+        fault for spec in args.inject_fault for fault in parse_faults(spec)
+    )
+
+
+def _serve(args) -> int:
+    """Run the cooperative collection daemon until SIGTERM/SIGINT."""
+    import signal
+    import threading
+
+    from repro import obs
+    from repro.harness.experiment import build_plan
+    from repro.instrument.tracer import instrument_source
+    from repro.serve import CollectionService, FeedbackServer
+    from repro.store import ShardStore
+    from repro.store.faults import FaultInjector
+    from repro.store.shards import MANIFEST_NAME
+
+    code, faults = _cli_faults(args)
+    if code:
+        return code
+
+    subject_name = args.subject
+    manifest_path = os.path.join(args.store, MANIFEST_NAME)
+    if os.path.exists(manifest_path):
+        stored_subject = ShardStore.open(args.store).manifest.subject
+        if subject_name is not None and subject_name != stored_subject:
+            print(
+                f"error: store {args.store} holds subject "
+                f"{stored_subject!r}, not {subject_name!r}",
+                file=sys.stderr,
+            )
+            return 2
+        subject_name = stored_subject
+    if subject_name is None:
+        print(
+            "error: --subject is required when creating a new store",
+            file=sys.stderr,
+        )
+        return 2
+
+    subject = SUBJECTS[subject_name]()
+    program = instrument_source(subject.source(), subject.name)
+    plan = build_plan(
+        subject,
+        program,
+        args.sampling,
+        rate=args.rate,
+        training_runs=args.training_runs,
+        seed=0,
+    )
+    store = ShardStore.open_or_create(
+        args.store, subject.name, program.table, plan
+    )
+
+    obs_on = bool(args.trace)
+    if obs_on:
+        obs.configure(trace_path=args.trace)
+    service = CollectionService(
+        store,
+        subject,
+        batch_runs=args.batch_runs,
+        max_buffered=args.max_buffered,
+    )
+    server = FeedbackServer(
+        service,
+        host=args.host,
+        port=args.port,
+        faults=FaultInjector(faults or ()),
+    )
+    server.start()
+    # The smoke tests parse this line to find the bound port; keep its
+    # shape (and the flush) stable.
+    print(f"serving {subject.name} on {server.url} (store {args.store})", flush=True)
+
+    stop = threading.Event()
+
+    def _handle(signum, frame):
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _handle)
+    signal.signal(signal.SIGINT, _handle)
+    try:
+        while not stop.is_set():
+            stop.wait(0.2)
+    finally:
+        drained = server.close(drain=True)
+        if args.metrics:
+            service.metrics.write(args.metrics)
+            print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+        if obs_on:
+            obs.shutdown()
+        print(
+            f"drained {drained} pending reports; store now holds "
+            f"{store.n_shards} shards, {store.n_runs} runs "
+            f"({store.num_failing} failing)",
+            flush=True,
+        )
+    return 0
+
+
+def _submit(args) -> int:
+    """Run trials, spool their reports, and drain the spool to a server."""
+    from repro.harness.experiment import build_plan
+    from repro.instrument.tracer import instrument_source
+    from repro.serve import ReportSpool, drain_spool, fetch_scores, run_and_spool
+    from repro.store.faults import FaultInjector
+
+    code, faults = _cli_faults(args)
+    if code:
+        return code
+
+    subject = SUBJECTS[args.subject]()
+    runs = args.runs if args.runs is not None else subject.trial_budget
+    program = instrument_source(subject.source(), subject.name)
+    plan = build_plan(
+        subject,
+        program,
+        args.sampling,
+        rate=args.rate,
+        training_runs=args.training_runs,
+        seed=args.seed,
+    )
+    spool = ReportSpool(args.spool)
+    if runs:
+        run_and_spool(subject, program, plan, spool, runs, seed=args.seed)
+        print(
+            f"spooled {runs} reports (seeds {args.seed}.."
+            f"{args.seed + runs - 1}) to {args.spool}",
+            file=sys.stderr,
+        )
+    result = drain_spool(
+        spool,
+        args.url,
+        subject.name,
+        program.table.signature(),
+        batch_size=args.batch_size,
+        timeout=args.timeout,
+        max_attempts=args.max_attempts,
+        faults=FaultInjector(faults or ()),
+    )
+    print(
+        f"submitted: {len(result.accepted)} accepted, "
+        f"{len(result.duplicate)} duplicate, {len(result.rejected)} rejected "
+        f"({result.requests} requests, {result.retries} retries)"
+    )
+    if args.top:
+        scores = fetch_scores(args.url, k=args.top, timeout=args.timeout)
+        print(
+            f"live scores over {scores['n_runs']} runs "
+            f"({scores['num_failing']} failing):"
+        )
+        for entry in scores["predicates"]:
+            print(
+                f"{entry['importance']:>10.3f}  {entry['increase']:>8.3f}  "
+                f"{entry['F']:>6}  {entry['S']:>6}  {entry['name']}"
+            )
+    return 0
+
+
 def _collect(args) -> int:
     """Append shards for a subject to a store directory."""
     from repro.harness.experiment import build_plan
     from repro.harness.parallel import run_trials_sharded
     from repro.instrument.tracer import instrument_source
-    from repro.store import ShardStore, parse_faults
+    from repro.store import ShardStore
 
-    faults = None
-    if args.inject_fault:
-        if not args.testing:
-            print(
-                "error: --inject-fault is a testing-only option; "
-                "pass --testing to acknowledge",
-                file=sys.stderr,
-            )
-            return 2
-        faults = tuple(
-            fault for spec in args.inject_fault for fault in parse_faults(spec)
-        )
+    code, faults = _cli_faults(args)
+    if code:
+        return code
 
     subject = SUBJECTS[args.subject]()
+    if args.runs is None:
+        args.runs = subject.trial_budget
     program = instrument_source(subject.source(), subject.name)
     plan = build_plan(
         subject,

@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import random
 import signal
 import time
 from dataclasses import dataclass, field
@@ -48,8 +47,9 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.reports import ReportBuilder, ReportSet
 from repro.core.truth import GroundTruth
+from repro.harness.runner import run_one_trial
 from repro.instrument.sampling import SamplingPlan
-from repro.instrument.tracer import crash_stack, instrument_source
+from repro.instrument.tracer import instrument_source
 from repro.instrument.transform import InstrumentationConfig
 from repro.obs import (
     enabled as _obs_enabled,
@@ -60,7 +60,6 @@ from repro.obs import (
     snapshot as _obs_snapshot,
     span as _obs_span,
 )
-from repro.subjects import base as subject_base
 from repro.subjects.base import Subject
 
 #: Per-process cache of the instrumented program.
@@ -148,21 +147,9 @@ def _run_chunk(args: Tuple[int, int, SamplingPlan]) -> List[_RunRecord]:
 
     records: List[_RunRecord] = []
     for i in range(start, start + count):
-        input_rng = random.Random(i * 2654435761 % (2 ** 31))
-        trial_input = subject.generate_input(input_rng)
-        subject_base.begin_truth_capture()
-        program.begin_run(plan, seed=i + 1)  # type: ignore[attr-defined]
-        failed = False
-        stack = None
-        try:
-            output = entry(trial_input)
-        except Exception as exc:
-            failed = True
-            stack = crash_stack(exc, program.filename)  # type: ignore[attr-defined]
-        else:
-            failed = not subject.oracle(trial_input, output)
-        site_obs, pred_true = program.end_run()  # type: ignore[attr-defined]
-        bugs = subject_base.end_truth_capture()
+        failed, site_obs, pred_true, stack, bugs = run_one_trial(
+            subject, program, entry, plan, i  # type: ignore[arg-type]
+        )
         records.append((i, failed, site_obs, pred_true, stack, bugs))
     return records
 

@@ -22,6 +22,54 @@ from repro.subjects import base as subject_base
 from repro.subjects.base import Subject
 
 
+def run_one_trial(
+    subject: Subject,
+    program: InstrumentedProgram,
+    entry,
+    plan: SamplingPlan,
+    trial_seed: int,
+):
+    """Execute exactly one seeded trial of an instrumented program.
+
+    This is the single definition of what "trial ``trial_seed``" means:
+    the input RNG, the sampler seed, the crash/oracle labelling and the
+    ground-truth capture all derive from ``trial_seed`` alone, so every
+    collection path -- the serial runner, the sharded workers of
+    :mod:`repro.harness.parallel`, and the networked uploader of
+    :mod:`repro.serve.client` -- produces byte-identical run records for
+    the same seed.
+
+    Args:
+        subject: The subject describing inputs and the oracle.
+        program: The instrumented program.
+        entry: The bound entry callable (``program.func(subject.entry)``),
+            passed in so callers amortise the lookup across trials.
+        plan: Sampling plan for the trial.
+        trial_seed: The absolute trial seed (base seed + trial index).
+
+    Returns:
+        ``(failed, site_obs, pred_true, stack, bugs)`` -- the run's
+        outcome label, sparse counter dicts, optional crash-stack
+        signature, and ground-truth bug ids.
+    """
+    input_rng = random.Random(trial_seed * 2654435761 % (2 ** 31))
+    trial_input = subject.generate_input(input_rng)
+    subject_base.begin_truth_capture()
+    program.begin_run(plan, seed=trial_seed + 1)
+    failed = False
+    stack = None
+    try:
+        output = entry(trial_input)
+    except Exception as exc:  # crash: any uncaught exception
+        failed = True
+        stack = crash_stack(exc, program.filename)
+    else:
+        failed = not subject.oracle(trial_input, output)
+    site_obs, pred_true = program.end_run()
+    bugs = subject_base.end_truth_capture()
+    return failed, site_obs, pred_true, stack, bugs
+
+
 def run_trials(
     subject: Subject,
     program: InstrumentedProgram,
@@ -49,24 +97,11 @@ def run_trials(
     entry = program.func(subject.entry)
 
     for i in range(n_runs):
-        input_rng = random.Random((seed + i) * 2654435761 % (2 ** 31))
-        trial_input = subject.generate_input(input_rng)
-        sink = subject_base.begin_truth_capture()
-        program.begin_run(plan, seed=seed + i + 1)
-        failed = False
-        stack = None
-        try:
-            output = entry(trial_input)
-        except Exception as exc:  # crash: any uncaught exception
-            failed = True
-            stack = crash_stack(exc, program.filename)
-        else:
-            failed = not subject.oracle(trial_input, output)
-        site_obs, pred_true = program.end_run()
-        bugs = subject_base.end_truth_capture()
+        failed, site_obs, pred_true, stack, bugs = run_one_trial(
+            subject, program, entry, plan, seed + i
+        )
         builder.add_run(failed, site_obs, pred_true, stack=stack, seed=seed + i)
         truth.add_run(bugs)
-        del sink
 
     return builder.build(), truth
 

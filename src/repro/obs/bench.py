@@ -4,9 +4,11 @@ Running the bench appends one *entry* to each of two append-only JSON
 documents at the repo root (or ``--out-dir``):
 
 * ``BENCH_collection.json`` -- collection-side scenarios: instrumented
-  trial throughput (runs/sec) for every registered subject, plus the
+  trial throughput (runs/sec) for every registered subject, the
   supervised sharded collector's end-to-end throughput including its
-  disk commits;
+  disk commits, and the networked ingestion path's reports/sec and MB/s
+  through ``POST /reports`` at upload batch sizes 1/32/256
+  (``serve_ingest``);
 * ``BENCH_analysis.json`` -- analysis-side scenarios: streaming-merge
   bandwidth (MB/s over the shard bytes), end-to-end scoring latency
   (streamed sufficient statistics -> scores -> pruning) at three store
@@ -144,6 +146,63 @@ def run_collection_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
                 subject="ccrypt",
             )
         )
+
+    # The HTTP ingestion path (repro.serve): spool one population, then
+    # drain copies of it through an in-process FeedbackServer at several
+    # batch sizes.  Walls include validation, the fsync'd ack WAL and
+    # the store commits, i.e. the full durability cost of the service.
+    from repro.instrument.tracer import instrument_source as _instrument
+    from repro.serve import (
+        CollectionService,
+        FeedbackServer,
+        ReportSpool,
+        drain_spool,
+        run_and_spool,
+    )
+    from repro.store import ShardStore
+
+    subject = SUBJECTS["ccrypt"]()
+    program = _instrument(subject.source(), subject.name)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        source = ReportSpool(os.path.join(tmp, "spool-source"))
+        run_and_spool(subject, program, plan, source, n_runs, seed=0)
+        for batch_size in (1, 32, 256):
+            store = ShardStore.open_or_create(
+                os.path.join(tmp, f"serve-{batch_size}"),
+                subject.name,
+                program.table,
+                plan,
+            )
+            service = CollectionService(
+                store, subject, batch_runs=max(n_runs // 4, 5)
+            )
+            server = FeedbackServer(service, port=0).start()
+            spool = ReportSpool(os.path.join(tmp, f"spool-{batch_size}"))
+            for seed in source.pending_seeds():
+                spool.save(source.load(seed))
+            start = time.perf_counter()
+            drain_spool(
+                spool,
+                server.url,
+                subject.name,
+                program.table.signature(),
+                batch_size=batch_size,
+            )
+            server.close(drain=True)
+            wall = time.perf_counter() - start
+            received = service.metrics.counter("serve.bytes_received")
+            scenarios.append(
+                _scenario(
+                    "serve_ingest",
+                    {"runs": n_runs, "batch_size": batch_size},
+                    {
+                        "wall_seconds": wall,
+                        "reports_per_sec": n_runs / max(wall, 1e-9),
+                        "mb_per_sec": received / 1e6 / max(wall, 1e-9),
+                    },
+                    subject="ccrypt",
+                )
+            )
     return scenarios
 
 

@@ -1,0 +1,282 @@
+"""The ``repro-report/v1`` wire format.
+
+A feedback upload is a JSON document (optionally gzip-compressed, signalled
+by ``Content-Encoding: gzip``) carrying one or more run reports:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-report/v1",
+      "subject": "ccrypt",
+      "table_sha": "<hex sha-256 of the predicate table>",
+      "reports": [
+        {
+          "seed": 17,
+          "failed": true,
+          "site_obs": {"3": 12, "9": 1},
+          "pred_true": {"11": 4},
+          "stack": ["f", "g"],
+          "bugs": ["double-free"]
+        }
+      ]
+    }
+
+The counter maps are sparse (absent site/predicate means zero) with
+string keys, because JSON objects cannot have integer keys.  ``table_sha``
+is the archive-v2 table signature
+(:meth:`repro.core.predicates.PredicateTable.signature`): the server
+refuses reports instrumented against a different table rather than
+silently misaligning predicate indices.
+
+Validation is strict -- every structural or semantic problem raises
+:class:`ProtocolError` with a machine-readable ``reason`` code that the
+server echoes in its 400 response and records in the quarantine reason
+file.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Schema identifier accepted by the server.
+REPORT_SCHEMA = "repro-report/v1"
+
+#: Payloads larger than this are rejected before JSON parsing
+#: (decompressed size; a crude zip-bomb / memory guard).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A wire payload that cannot be accepted.
+
+    Attributes:
+        reason: Short machine-readable code (``bad-json``, ``bad-schema``,
+            ``wrong-subject``, ``table-mismatch``, ``bad-report``, ...)
+            suitable for quarantine reason files and metrics labels.
+    """
+
+    def __init__(self, reason: str, detail: str) -> None:
+        super().__init__(f"{reason}: {detail}")
+        self.reason = reason
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """One run's feedback report in wire form.
+
+    Mirrors :class:`repro.core.reports.FeedbackReport` plus the trial
+    seed (the run's identity for idempotent delivery) and the ground-truth
+    bug occurrences (the paper's evaluation side channel; an empty list
+    for deployments without an oracle's ground truth).
+    """
+
+    seed: int
+    failed: bool
+    site_obs: Dict[int, int] = field(default_factory=dict)
+    pred_true: Dict[int, int] = field(default_factory=dict)
+    stack: Optional[Tuple[str, ...]] = None
+    bugs: Tuple[str, ...] = ()
+
+    def to_wire(self) -> dict:
+        """The JSON-ready dict for this report."""
+        return {
+            "seed": self.seed,
+            "failed": self.failed,
+            "site_obs": {str(k): v for k, v in sorted(self.site_obs.items())},
+            "pred_true": {str(k): v for k, v in sorted(self.pred_true.items())},
+            "stack": list(self.stack) if self.stack is not None else None,
+            "bugs": list(self.bugs),
+        }
+
+
+def _counter_map(raw: object, bound: int, what: str, seed: object) -> Dict[int, int]:
+    """Validate a sparse ``{"index": count}`` map against an index bound."""
+    if not isinstance(raw, dict):
+        raise ProtocolError("bad-report", f"report seed={seed}: {what} is not an object")
+    out: Dict[int, int] = {}
+    for key, value in raw.items():
+        try:
+            index = int(key)
+        except (TypeError, ValueError):
+            raise ProtocolError(
+                "bad-report", f"report seed={seed}: {what} key {key!r} is not an integer"
+            ) from None
+        if not (0 <= index < bound):
+            raise ProtocolError(
+                "bad-report",
+                f"report seed={seed}: {what} index {index} out of range [0, {bound})",
+            )
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            raise ProtocolError(
+                "bad-report",
+                f"report seed={seed}: {what}[{index}] = {value!r} is not a positive int",
+            )
+        out[index] = value
+    return out
+
+
+def report_from_wire(
+    spec: dict, n_sites: int, n_predicates: int, bug_ids: Sequence[str]
+) -> RunReport:
+    """Validate and decode one wire report dict.
+
+    Raises:
+        ProtocolError: on any structural or range violation.
+    """
+    if not isinstance(spec, dict):
+        raise ProtocolError("bad-report", "report entry is not an object")
+    seed = spec.get("seed")
+    if not isinstance(seed, int) or isinstance(seed, bool) or seed < 0:
+        raise ProtocolError("bad-report", f"seed {seed!r} is not a non-negative integer")
+    failed = spec.get("failed")
+    if not isinstance(failed, bool):
+        raise ProtocolError("bad-report", f"report seed={seed}: failed {failed!r} is not a bool")
+    site_obs = _counter_map(spec.get("site_obs", {}), n_sites, "site_obs", seed)
+    pred_true = _counter_map(spec.get("pred_true", {}), n_predicates, "pred_true", seed)
+    stack_raw = spec.get("stack")
+    stack: Optional[Tuple[str, ...]] = None
+    if stack_raw is not None:
+        if not isinstance(stack_raw, list) or not all(
+            isinstance(frame, str) for frame in stack_raw
+        ):
+            raise ProtocolError(
+                "bad-report", f"report seed={seed}: stack is not a list of strings"
+            )
+        stack = tuple(stack_raw)
+    bugs_raw = spec.get("bugs", [])
+    if not isinstance(bugs_raw, list) or not all(isinstance(b, str) for b in bugs_raw):
+        raise ProtocolError("bad-report", f"report seed={seed}: bugs is not a list of strings")
+    known = set(bug_ids)
+    for bug in bugs_raw:
+        if bug not in known:
+            raise ProtocolError(
+                "bad-report",
+                f"report seed={seed}: unknown bug id {bug!r} (subject knows {sorted(known)})",
+            )
+    return RunReport(
+        seed=seed,
+        failed=failed,
+        site_obs=site_obs,
+        pred_true=pred_true,
+        stack=stack,
+        bugs=tuple(bugs_raw),
+    )
+
+
+def encode_batch(
+    reports: Sequence[RunReport],
+    subject: str,
+    table_sha: str,
+    compress: bool = True,
+) -> Tuple[bytes, Dict[str, str]]:
+    """Serialise a batch of reports for ``POST /reports``.
+
+    Returns:
+        ``(body, headers)`` where headers carries ``Content-Type`` and,
+        when ``compress``, ``Content-Encoding: gzip``.
+    """
+    document = {
+        "schema": REPORT_SCHEMA,
+        "subject": subject,
+        "table_sha": table_sha,
+        "reports": [r.to_wire() for r in reports],
+    }
+    body = json.dumps(document, sort_keys=True).encode("utf-8")
+    headers = {"Content-Type": "application/json"}
+    if compress:
+        # mtime=0 keeps the bytes a pure function of the payload.
+        body = gzip.compress(body, mtime=0)
+        headers["Content-Encoding"] = "gzip"
+    return body, headers
+
+
+def decode_body(body: bytes, content_encoding: Optional[str] = None) -> dict:
+    """Decompress and parse a request body into the payload document.
+
+    Raises:
+        ProtocolError: ``bad-encoding`` for unknown/broken encodings,
+            ``too-large`` past :data:`MAX_BODY_BYTES`, ``bad-json`` for
+            unparseable text, ``bad-schema`` when the document is not a
+            JSON object.
+    """
+    encoding = (content_encoding or "identity").strip().lower()
+    if encoding == "gzip":
+        try:
+            body = gzip.decompress(body)
+        except (OSError, EOFError) as exc:
+            raise ProtocolError("bad-encoding", f"gzip decompression failed: {exc}") from exc
+    elif encoding not in ("identity", ""):
+        raise ProtocolError("bad-encoding", f"unsupported Content-Encoding {encoding!r}")
+    if len(body) > MAX_BODY_BYTES:
+        raise ProtocolError(
+            "too-large", f"payload is {len(body)} bytes (limit {MAX_BODY_BYTES})"
+        )
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError("bad-json", str(exc)) from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("bad-schema", "payload is not a JSON object")
+    return payload
+
+
+def validate_payload(
+    payload: dict,
+    subject: str,
+    table_sha: str,
+    n_sites: int,
+    n_predicates: int,
+    bug_ids: Sequence[str],
+) -> List[RunReport]:
+    """Validate a decoded payload document against the serving store.
+
+    Args:
+        payload: Output of :func:`decode_body`.
+        subject: Subject name the server is collecting for.
+        table_sha: The store's predicate-table signature.
+        n_sites: Site count of that table.
+        n_predicates: Predicate count of that table.
+        bug_ids: The subject's known ground-truth bug identifiers.
+
+    Returns:
+        The decoded reports, in payload order.
+
+    Raises:
+        ProtocolError: with reason ``bad-schema`` / ``wrong-subject`` /
+            ``table-mismatch`` / ``bad-report``.
+    """
+    schema = payload.get("schema")
+    if schema != REPORT_SCHEMA:
+        raise ProtocolError("bad-schema", f"schema {schema!r}, expected {REPORT_SCHEMA!r}")
+    got_subject = payload.get("subject")
+    if got_subject != subject:
+        raise ProtocolError(
+            "wrong-subject", f"payload is for {got_subject!r}, server collects {subject!r}"
+        )
+    got_sha = payload.get("table_sha")
+    if got_sha != table_sha:
+        raise ProtocolError(
+            "table-mismatch",
+            f"payload table {str(got_sha)[:12]}... does not match "
+            f"store table {table_sha[:12]}...",
+        )
+    reports_raw = payload.get("reports")
+    if not isinstance(reports_raw, list) or not reports_raw:
+        raise ProtocolError("bad-schema", "reports must be a non-empty list")
+    reports = [
+        report_from_wire(spec, n_sites, n_predicates, bug_ids) for spec in reports_raw
+    ]
+    seen: Dict[int, int] = {}
+    for position, report in enumerate(reports):
+        if report.seed in seen:
+            raise ProtocolError(
+                "bad-report",
+                f"seed {report.seed} appears at positions {seen[report.seed]} "
+                f"and {position} of the same batch",
+            )
+        seen[report.seed] = position
+    return reports

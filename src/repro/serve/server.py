@@ -1,0 +1,549 @@
+"""The collection daemon: ingestion, durability, and live scores.
+
+Two layers, deliberately separated so the protocol logic is testable
+without sockets:
+
+* :class:`CollectionService` -- the HTTP-free core.  It validates
+  payloads, acknowledges reports only after they are durable in a
+  write-ahead ack log (``ingest_wal.jsonl`` in the store directory),
+  batches them into contiguous seed ranges, and commits batches through
+  :meth:`ShardStore.append_shard <repro.store.shards.ShardStore.append_shard>`
+  -- the same crash-safe pending-file/manifest protocol the local
+  collector uses, so a ``SIGKILL`` at any instant leaves the store
+  recoverable *and* every acknowledged report replayable.
+* :class:`FeedbackServer` -- a stdlib ``ThreadingHTTPServer`` wrapper
+  exposing the service as ``POST /reports``, ``POST /flush``,
+  ``GET /scores``, ``GET /healthz`` and ``GET /metrics``, with
+  deterministic server-side network-fault injection
+  (:data:`repro.store.faults.NETWORK_FAULTS`) for the test suite.
+
+Durability story (why acks cannot lose reports): a report is
+acknowledged only after its wire record is appended and fsynced to the
+WAL.  Commits remove reports from the WAL (it is compacted to the still
+pending set after every batch), and a restarting service replays
+WAL records whose seeds are not already inside committed manifest
+ranges.  So at every instant each acknowledged report is either in a
+committed shard or in the WAL -- the client may safely delete its spool
+copy on ack, and a kill/restart cycle converges to the exact population
+a fault-free session would have committed.
+
+Live scores: the service maintains the store's
+:class:`~repro.store.incremental.SufficientStats` incrementally (seeded
+from the manifest at startup, one integer add per committed batch) and
+scores them through the same
+:meth:`AnalysisEngine.score_stats <repro.core.engine.AnalysisEngine.score_stats>`
+path as ``repro-cbi analyze --stats-only``, so ``GET /scores`` is
+bit-identical to running ``analyze`` on the store directory at the same
+moment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional, Tuple
+
+from repro.core.engine import AnalysisEngine
+from repro.core.importance import importance_scores
+from repro.core.reports import ReportBuilder
+from repro.core.truth import GroundTruth
+from repro.obs import span as _obs_span
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.batcher import BatcherFull, ReportBatcher
+from repro.serve.protocol import (
+    ProtocolError,
+    RunReport,
+    decode_body,
+    report_from_wire,
+    validate_payload,
+)
+from repro.store.faults import FaultInjector
+from repro.store.incremental import SufficientStats
+
+#: Write-ahead ack log filename, inside the store directory.
+WAL_NAME = "ingest_wal.jsonl"
+
+#: How long a ``net-slow`` fault stalls the handler (seconds).  Long
+#: enough to trip a short client timeout, short enough for tests.
+SLOW_SECONDS = 1.5
+
+
+class CollectionService:
+    """HTTP-free ingestion core over one subject's shard store.
+
+    Args:
+        store: An open :class:`~repro.store.ShardStore` whose predicate
+            table is available (freshly created, or opened over at least
+            one shard).
+        subject: The :class:`~repro.subjects.base.Subject` being
+            collected, for bug-id validation and ground-truth rebuild.
+        batch_runs: Contiguous seeds per committed shard.
+        max_buffered: Bound on pending (acknowledged, uncommitted)
+            reports; past it, uploads get 503 until a batch commits.
+
+    Thread safety: every public method takes the service lock, so the
+    threaded HTTP front end can call in from concurrent handlers.
+    """
+
+    def __init__(
+        self,
+        store,
+        subject,
+        batch_runs: int = 200,
+        max_buffered: int = 100_000,
+    ) -> None:
+        self.store = store
+        self.subject = subject
+        self.table = store.table()
+        self.lock = threading.RLock()
+        self.metrics = MetricsRegistry()
+        self.engine = AnalysisEngine(jobs=1)
+        self.started_at = time.time()
+        self._upload_counter = 0
+
+        store.recover()
+        committed = tuple(
+            (entry.seed_start, entry.seed_start + entry.n_runs)
+            for entry in store.manifest.shards
+            if entry.seed_start is not None
+        )
+        self.batcher = ReportBatcher(
+            batch_runs=batch_runs, max_buffered=max_buffered, committed=committed
+        )
+        if store.n_shards:
+            self.live_stats = store.sufficient_stats()
+        else:
+            self.live_stats = SufficientStats.zeros(self.table.n_predicates)
+        self._replay_wal()
+
+    # ------------------------------------------------------------------
+    # Write-ahead ack log
+    # ------------------------------------------------------------------
+    @property
+    def wal_path(self) -> str:
+        """Path of the ingest write-ahead log."""
+        return os.path.join(self.store.directory, WAL_NAME)
+
+    def _wal_append(self, reports: List[RunReport]) -> None:
+        """Make ``reports`` durable before they are acknowledged."""
+        with open(self.wal_path, "a", encoding="utf-8") as handle:
+            for report in reports:
+                handle.write(json.dumps(report.to_wire(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _wal_compact(self) -> None:
+        """Rewrite the WAL to exactly the still-pending reports."""
+        pending = self.batcher.pending_reports()
+        tmp = self.wal_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for report in pending:
+                handle.write(json.dumps(report.to_wire(), sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.wal_path)
+
+    def _replay_wal(self) -> None:
+        """Re-queue acknowledged-but-uncommitted reports after a restart.
+
+        Tolerates a torn final line (a crash mid-append: that report was
+        never acknowledged, so dropping it is correct) and skips records
+        whose seeds already sit inside committed manifest ranges.
+        """
+        if not os.path.exists(self.wal_path):
+            return
+        replayed = 0
+        with open(self.wal_path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spec = json.loads(line)
+                report = report_from_wire(
+                    spec,
+                    self.table.n_sites,
+                    self.table.n_predicates,
+                    list(self.subject.bug_ids),
+                )
+            except (json.JSONDecodeError, ProtocolError) as exc:
+                if index == len(lines) - 1:
+                    self.store.log_event("serve-wal-torn-tail", detail=str(exc))
+                    continue
+                self.store.log_event(
+                    "serve-wal-bad-record", line=index, detail=str(exc)
+                )
+                continue
+            if self.batcher.offer(report) == "queued":
+                replayed += 1
+        if replayed:
+            self.store.log_event("serve-wal-replay", reports=replayed)
+            self.metrics.inc("serve.wal_replayed", replayed)
+        self._wal_compact()
+        self._commit_ready()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest_body(
+        self, body: bytes, content_encoding: Optional[str] = None
+    ) -> Tuple[int, dict]:
+        """Handle one ``POST /reports`` body.
+
+        Returns:
+            ``(http_status, response_document)``.  200 responses carry
+            ``accepted`` and ``duplicate`` seed lists; 400 responses the
+            protocol ``error`` code and ``detail`` (the payload is
+            quarantined); 503 means the buffer is full -- retry later.
+        """
+        with self.lock:
+            self.metrics.inc("serve.requests")
+            self.metrics.inc("serve.bytes_received", len(body))
+            with self.metrics.timer("serve.ingest"):
+                with _obs_span("serve.ingest", bytes=len(body)):
+                    return self._ingest_locked(body, content_encoding)
+
+    def _ingest_locked(self, body: bytes, content_encoding: Optional[str]) -> Tuple[int, dict]:
+        try:
+            payload = decode_body(body, content_encoding)
+            reports = validate_payload(
+                payload,
+                subject=self.store.manifest.subject,
+                table_sha=self.store.manifest.table_sha,
+                n_sites=self.table.n_sites,
+                n_predicates=self.table.n_predicates,
+                bug_ids=list(self.subject.bug_ids),
+            )
+        except ProtocolError as exc:
+            self.metrics.inc("serve.reports_rejected")
+            self._quarantine_upload(body, exc)
+            return 400, {"error": exc.reason, "detail": exc.detail}
+
+        accepted: List[RunReport] = []
+        duplicate: List[int] = []
+        try:
+            for report in reports:
+                if self.batcher.offer(report) == "queued":
+                    accepted.append(report)
+                else:
+                    duplicate.append(report.seed)
+        except BatcherFull as exc:
+            # Roll back this request's partial acceptance: nothing was
+            # WAL-logged yet, so un-queue what we just offered and let
+            # the client retry the whole batch after a commit drains us.
+            for report in accepted:
+                self.batcher.discard(report.seed)
+            self.metrics.inc("serve.requests_throttled")
+            return 503, {"error": "buffer-full", "detail": str(exc)}
+
+        if accepted:
+            # Durability point: fsync the ack log *before* acknowledging,
+            # so an acked report survives any kill until its shard commits.
+            self._wal_append(accepted)
+        self.metrics.inc("serve.reports_queued", len(accepted))
+        self.metrics.inc("serve.reports_duplicate", len(duplicate))
+        self.metrics.gauge("serve.queue_depth", float(self.batcher.queue_depth))
+        response = {
+            "accepted": [r.seed for r in accepted],
+            "duplicate": duplicate,
+        }
+        self._commit_ready()
+        return 200, response
+
+    def _quarantine_upload(self, body: bytes, error: ProtocolError) -> None:
+        """Park a rejected payload in the store's quarantine with a reason."""
+        self._upload_counter += 1
+        name = f"upload-{os.getpid()}-{self._upload_counter:06d}.json"
+        path = os.path.join(self.store.directory, name)
+        with open(path, "wb") as handle:
+            handle.write(body)
+        self.store.quarantine_file(name, f"upload-{error.reason}", error.detail)
+
+    # ------------------------------------------------------------------
+    # Batch commits
+    # ------------------------------------------------------------------
+    def _commit_ready(self) -> None:
+        for seed_start, records in self.batcher.take_ready():
+            self._commit_batch(seed_start, records)
+
+    def _commit_batch(self, seed_start: int, records: List[RunReport]) -> None:
+        builder = ReportBuilder(self.table)
+        truth = GroundTruth(bug_ids=list(self.subject.bug_ids))
+        for record in records:
+            builder.add_run(
+                record.failed,
+                record.site_obs,
+                record.pred_true,
+                stack=record.stack,
+                seed=record.seed,
+            )
+            truth.add_run(list(record.bugs))
+        reports = builder.build()
+        with self.metrics.timer("serve.commit_batch"):
+            with _obs_span("serve.commit_batch", seed_start=seed_start, runs=len(records)):
+                self.store.append_shard(reports, truth, seed_start=seed_start)
+        self.live_stats.add(SufficientStats.from_reports(reports))
+        self.batcher.mark_committed(seed_start, len(records))
+        self._wal_compact()
+        self.metrics.inc("serve.batches_committed")
+        self.metrics.inc("serve.reports_committed", len(records))
+        self.metrics.gauge("serve.queue_depth", float(self.batcher.queue_depth))
+        self.store.log_event(
+            "serve-commit",
+            seed_start=seed_start,
+            n_runs=reports.n_runs,
+            num_failing=reports.num_failing,
+        )
+
+    def flush(self) -> int:
+        """Commit every pending report (partial tail batches included).
+
+        Returns the number of reports committed.
+        """
+        with self.lock:
+            committed = 0
+            for seed_start, records in self.batcher.take_all():
+                self._commit_batch(seed_start, records)
+                committed += len(records)
+            return committed
+
+    # ------------------------------------------------------------------
+    # Read endpoints
+    # ------------------------------------------------------------------
+    def scores_payload(self, k: Optional[int] = None) -> dict:
+        """Top-``k`` predicates by Importance over the committed population.
+
+        Computed from the live statistics through the exact
+        ``analyze --stats-only`` path
+        (:meth:`AnalysisEngine.score_stats <repro.core.engine.AnalysisEngine.score_stats>`
+        + :func:`repro.core.importance.importance_scores` + the CLI's
+        ranking expression), so counts and floats agree bit for bit with
+        the CLI run against the store directory at this moment.
+        """
+        with self.lock:
+            stats = self.live_stats
+            n_runs = stats.num_failing + stats.num_successful
+            document = {
+                "schema": "repro-scores/v1",
+                "subject": self.store.manifest.subject,
+                "table_sha": self.store.manifest.table_sha,
+                "n_runs": int(n_runs),
+                "num_failing": int(stats.num_failing),
+                "predicates": [],
+            }
+            if n_runs == 0:
+                return document
+            scoring = self.engine.score_stats(stats)
+            scores = scoring.scores
+            imp = importance_scores(scores)
+            order = sorted(
+                scoring.pruning.kept_indices.tolist(),
+                key=lambda i: imp.importance[i],
+                reverse=True,
+            )
+            if k is not None:
+                order = order[:k]
+            document["predicates"] = [
+                {
+                    "index": int(i),
+                    "name": self.table.predicates[i].name,
+                    "importance": float(imp.importance[i]),
+                    "increase": float(scores.increase[i]),
+                    "failure": float(scores.failure[i]),
+                    "context": float(scores.context[i]),
+                    "F": int(scores.F[i]),
+                    "S": int(scores.S[i]),
+                    "F_obs": int(scores.F_obs[i]),
+                    "S_obs": int(scores.S_obs[i]),
+                }
+                for i in order
+            ]
+            return document
+
+    def health_payload(self) -> dict:
+        """``GET /healthz`` document."""
+        with self.lock:
+            return {
+                "status": "ok",
+                "subject": self.store.manifest.subject,
+                "n_shards": self.store.n_shards,
+                "n_runs": self.store.n_runs,
+                "queue_depth": self.batcher.queue_depth,
+                "uptime_seconds": time.time() - self.started_at,
+            }
+
+    def metrics_payload(self) -> dict:
+        """``GET /metrics`` document (``repro-metrics/v1``)."""
+        with self.lock:
+            self.metrics.gauge("serve.queue_depth", float(self.batcher.queue_depth))
+            return self.metrics.to_document()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True) -> int:
+        """Finish the session; with ``drain`` commit everything pending.
+
+        Returns the number of reports committed by the final drain.
+        """
+        with self.lock:
+            committed = self.flush() if drain else 0
+            self.store.log_event(
+                "serve-close",
+                drained=committed,
+                pending=self.batcher.queue_depth,
+                n_runs=self.store.n_runs,
+            )
+            return committed
+
+
+class _IngestHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests into the :class:`CollectionService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # request logging goes through the store's event log instead
+
+    def _send_json(self, status: int, document: dict) -> None:
+        body = json.dumps(document, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib handler API)
+        service: CollectionService = self.server.service  # type: ignore[attr-defined]
+        if self.path == "/flush":
+            committed = service.flush()
+            self._send_json(200, {"committed": committed})
+            return
+        if self.path != "/reports":
+            self._send_json(404, {"error": "not-found", "detail": self.path})
+            return
+
+        ordinal = self.server.next_post_ordinal()  # type: ignore[attr-defined]
+        injector: FaultInjector = self.server.injector  # type: ignore[attr-defined]
+        if injector.fires("net-slow", ordinal, 0):
+            time.sleep(SLOW_SECONDS)
+        if injector.fires("net-disconnect", ordinal, 0):
+            # Abruptly drop the TCP connection before reading the body:
+            # the client sees a reset mid-request and must retry.
+            self.close_connection = True
+            self.connection.close()
+            return
+
+        length = int(self.headers.get("Content-Length", "0"))
+        body = self.rfile.read(length) if length else b""
+
+        if injector.fires("net-500", ordinal, 0):
+            self._send_json(500, {"error": "injected", "detail": f"net-500@{ordinal}"})
+            return
+
+        status, document = service.ingest_body(
+            body, self.headers.get("Content-Encoding")
+        )
+        self._send_json(status, document)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler API)
+        service: CollectionService = self.server.service  # type: ignore[attr-defined]
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
+            self._send_json(200, service.health_payload())
+            return
+        if path == "/metrics":
+            self._send_json(200, service.metrics_payload())
+            return
+        if path == "/scores":
+            k: Optional[int] = None
+            for part in query.split("&"):
+                if part.startswith("k="):
+                    try:
+                        k = int(part[2:])
+                    except ValueError:
+                        self._send_json(400, {"error": "bad-query", "detail": part})
+                        return
+            self._send_json(200, service.scores_payload(k=k))
+            return
+        self._send_json(404, {"error": "not-found", "detail": path})
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class FeedbackServer:
+    """The networked front end: a threaded HTTP server over one service.
+
+    Args:
+        service: The :class:`CollectionService` to expose.
+        host: Bind address.
+        port: Bind port; 0 picks a free one (see :attr:`port`).
+        faults: Optional :class:`~repro.store.faults.FaultInjector`
+            carrying ``net-*`` faults, fired by POST ordinal.
+    """
+
+    def __init__(
+        self,
+        service: CollectionService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
+        self.service = service
+        self._http = _ThreadingServer((host, port), _IngestHandler)
+        self._http.service = service  # type: ignore[attr-defined]
+        self._http.injector = faults or FaultInjector()  # type: ignore[attr-defined]
+        self._ordinal = -1
+        self._ordinal_lock = threading.Lock()
+
+        def next_post_ordinal() -> int:
+            with self._ordinal_lock:
+                self._ordinal += 1
+                return self._ordinal
+
+        self._http.next_post_ordinal = next_post_ordinal  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._http.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0``)."""
+        return self._http.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should target."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "FeedbackServer":
+        """Serve in a daemon thread; returns self for chaining."""
+        self._thread = threading.Thread(
+            target=self._http.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self.service.store.log_event(
+            "serve-start", host=self.host, port=self.port
+        )
+        return self
+
+    def close(self, drain: bool = True) -> int:
+        """Graceful shutdown: stop accepting, then drain and commit.
+
+        Returns the number of reports the final drain committed.
+        """
+        self._http.shutdown()
+        self._http.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        return self.service.close(drain=drain)

@@ -22,7 +22,22 @@ kind                effect
                     store directory (a retried upload that landed twice)
 ``stale-manifest``  the shard file is deleted *after* the manifest
                     committed it (models post-collection data loss)
+``net-refuse``      the client's connection attempt is refused before any
+                    bytes are sent (server down / firewall)
+``net-disconnect``  the server drops the TCP connection mid-request, so
+                    the client sees a reset instead of a response
+``net-500``         the server answers with ``500 Internal Server Error``
+                    after reading the request (transient server bug)
+``net-slow``        the server stalls before responding (congestion /
+                    overload; exercises client timeouts)
 ==================  =====================================================
+
+The ``net-*`` kinds target the networked collection path of
+:mod:`repro.serve`: for them, "chunk" means the zero-based upload batch
+index on the client side (``net-refuse``) or the zero-based POST ordinal
+on the server side (the others), and "attempt" the retry number.  Like
+every other kind, each fires on exactly one (index, attempt) pair, so
+the uploader's retry loop always converges.
 
 A fault spec is ``kind@chunk`` with an optional ``#attempt`` suffix,
 e.g. ``kill-worker@1`` (kill the worker for chunk 1 on its first
@@ -53,6 +68,10 @@ FAULT_KINDS = (
     "flip-bytes",
     "duplicate-shard",
     "stale-manifest",
+    "net-refuse",
+    "net-disconnect",
+    "net-500",
+    "net-slow",
 )
 
 #: Fault kinds applied inside the worker process.
@@ -62,6 +81,11 @@ WORKER_FAULTS = frozenset(
 
 #: Fault kinds applied by the supervising parent after commit.
 PARENT_FAULTS = frozenset({"stale-manifest"})
+
+#: Fault kinds exercised on the networked collection path
+#: (:mod:`repro.serve`); ``net-refuse`` fires client-side, the rest fire
+#: inside the collection daemon's request handler.
+NETWORK_FAULTS = frozenset({"net-refuse", "net-disconnect", "net-500", "net-slow"})
 
 
 @dataclass(frozen=True)

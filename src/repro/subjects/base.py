@@ -63,11 +63,16 @@ class Subject(abc.ABC):
             object produced by :meth:`generate_input` and returns the
             program output.
         bug_ids: All seeded bug identifiers, in display order.
+        trial_budget: Default number of trials for an experiment over
+            this subject -- what ``run``/``collect`` use when ``--runs``
+            is not given, and what ``list --json`` advertises to scripts
+            sizing a collection session.
     """
 
     name: str = "subject"
     entry: str = "main"
     bug_ids: Sequence[str] = ()
+    trial_budget: int = 2000
 
     @abc.abstractmethod
     def source(self) -> str:

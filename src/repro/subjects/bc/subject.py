@@ -137,6 +137,7 @@ class BcSubject(base.Subject):
     name = "bc"
     entry = "main"
     bug_ids = ("bc1",)
+    trial_budget = 3000
 
     def source(self) -> str:
         """Source of the buggy program."""

@@ -82,6 +82,7 @@ class CcryptSubject(base.Subject):
     name = "ccrypt"
     entry = "main"
     bug_ids = ("ccrypt1",)
+    trial_budget = 2000
 
     def source(self) -> str:
         """Source of the buggy program."""

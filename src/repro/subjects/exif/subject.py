@@ -94,6 +94,7 @@ class ExifSubject(base.Subject):
     name = "exif"
     entry = "main"
     bug_ids = ("exif1", "exif2", "exif3")
+    trial_budget = 3000
 
     def source(self) -> str:
         """Source of the buggy program."""

@@ -32,6 +32,7 @@ class MossSubject(base.Subject):
         "moss8",
         "moss9",
     )
+    trial_budget = 5000
 
     def source(self) -> str:
         """Source of the buggy program (instrumented by the harness)."""

@@ -59,6 +59,7 @@ class RhythmboxSubject(base.Subject):
     name = "rhythmbox"
     entry = "main"
     bug_ids = ("rb1", "rb2")
+    trial_budget = 2000
 
     def source(self) -> str:
         """Source of the buggy program."""

@@ -302,3 +302,103 @@ class TestObservabilityCLI:
             doc = validate_file(str(tmp_path / name))
             assert doc["kind"] == kind
             assert doc["entries"][0]["label"] == "cli-test"
+
+
+class TestListJson:
+    def test_machine_readable_listing(self, capsys):
+        import json
+
+        assert main(["list", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert [e["name"] for e in entries] == sorted(SUBJECTS)
+        for entry in entries:
+            subject = SUBJECTS[entry["name"]]()
+            assert entry["bug_ids"] == list(subject.bug_ids)
+            assert entry["bug_count"] == len(subject.bug_ids)
+            assert entry["trial_budget"] == subject.trial_budget
+            assert entry["trial_budget"] > 0
+
+
+class TestJobsDefaultsUnified:
+    def test_every_jobs_flag_defaults_to_one(self):
+        parser = build_parser()
+        for argv in (
+            ["run", "--subject", "ccrypt"],
+            ["collect", "--subject", "ccrypt", "--out", "x"],
+            ["analyze", "store"],
+        ):
+            assert parser.parse_args(argv).jobs == 1, argv
+
+    def test_runs_defaults_to_subject_budget(self):
+        parser = build_parser()
+        assert parser.parse_args(["run", "--subject", "ccrypt"]).runs is None
+        assert (
+            parser.parse_args(
+                ["collect", "--subject", "moss", "--out", "x"]
+            ).runs
+            is None
+        )
+
+
+class TestServeSubmitCLI:
+    def test_serve_new_store_requires_subject(self, capsys, tmp_path):
+        assert main(["serve", str(tmp_path / "store")]) == 2
+        assert "--subject is required" in capsys.readouterr().err
+
+    def test_serve_rejects_subject_mismatch(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "collect", "--subject", "ccrypt", "--runs", "30",
+                    "--sampling", "full", "--out", str(store_dir),
+                    "--chunk-size", "30", "--seed", "0",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["serve", str(store_dir), "--subject", "moss"]) == 2
+        err = capsys.readouterr().err
+        assert "holds subject 'ccrypt'" in err
+
+    def test_submit_inject_fault_requires_testing(self, capsys, tmp_path):
+        code = main(
+            [
+                "submit", "--subject", "ccrypt",
+                "--url", "http://127.0.0.1:9",
+                "--spool", str(tmp_path / "spool"),
+                "--inject-fault", "net-refuse@0",
+            ]
+        )
+        assert code == 2
+        assert "--testing" in capsys.readouterr().err
+
+    def test_serve_inject_fault_requires_testing(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve", str(tmp_path / "store"), "--subject", "ccrypt",
+                "--inject-fault", "net-500@0",
+            ]
+        )
+        assert code == 2
+        assert "--testing" in capsys.readouterr().err
+
+    def test_submit_defaults(self):
+        args = build_parser().parse_args(
+            [
+                "submit", "--subject", "ccrypt",
+                "--url", "http://127.0.0.1:8080", "--spool", "spool",
+            ]
+        )
+        assert args.runs is None  # resolved to the subject's trial budget
+        assert args.batch_size == 32
+        assert args.max_attempts == 8
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "store", "--subject", "ccrypt"]
+        )
+        assert args.port == 8080
+        assert args.batch_runs == 200
+        assert args.max_buffered == 100_000

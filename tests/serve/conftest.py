@@ -1,0 +1,64 @@
+"""Shared fixtures for the ingestion-service tests.
+
+Instrumenting a subject costs a transform + exec, so the ccrypt program
+used by most service tests is built once per session.  Server fixtures
+are per-test: each test gets its own store directory, service, and (when
+needed) a live ``FeedbackServer`` on an ephemeral port.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.instrument.sampling import SamplingPlan
+from repro.instrument.tracer import instrument_source
+from repro.serve import CollectionService, FeedbackServer
+from repro.store import ShardStore
+from repro.subjects.ccrypt import CcryptSubject
+
+
+@pytest.fixture(scope="session")
+def ccrypt_subject():
+    return CcryptSubject()
+
+
+@pytest.fixture(scope="session")
+def ccrypt_program(ccrypt_subject):
+    return instrument_source(ccrypt_subject.source(), ccrypt_subject.name)
+
+
+@pytest.fixture()
+def full_plan():
+    return SamplingPlan.full()
+
+
+def make_service(
+    directory, subject, program, plan, batch_runs=20, max_buffered=100_000
+):
+    """A fresh store + service over ``directory``."""
+    store = ShardStore.open_or_create(
+        str(directory), subject.name, program.table, plan
+    )
+    service = CollectionService(
+        store, subject, batch_runs=batch_runs, max_buffered=max_buffered
+    )
+    return store, service
+
+
+@pytest.fixture()
+def ccrypt_service(tmp_path, ccrypt_subject, ccrypt_program, full_plan):
+    """``(store, service)`` over a fresh per-test store."""
+    return make_service(
+        tmp_path / "store", ccrypt_subject, ccrypt_program, full_plan
+    )
+
+
+@pytest.fixture()
+def ccrypt_server(ccrypt_service):
+    """A started ``FeedbackServer``; closed (drained) at teardown."""
+    store, service = ccrypt_service
+    server = FeedbackServer(service, port=0).start()
+    try:
+        yield store, service, server
+    finally:
+        server.close(drain=True)

@@ -1,0 +1,149 @@
+"""Unit tests for the contiguous-seed report batcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.batcher import BatcherFull, ReportBatcher
+from repro.serve.protocol import RunReport
+
+
+def _report(seed: int) -> RunReport:
+    return RunReport(
+        seed=seed,
+        failed=False,
+        site_obs={0: 1},
+        pred_true={},
+        stack=None,
+        bugs=(),
+    )
+
+
+def _offer_range(batcher, start, stop):
+    for seed in range(start, stop):
+        assert batcher.offer(_report(seed)) == "queued"
+
+
+class TestOffer:
+    def test_queue_and_depth(self):
+        b = ReportBatcher(batch_runs=10)
+        _offer_range(b, 0, 4)
+        assert b.queue_depth == 4
+
+    def test_duplicate_pending(self):
+        b = ReportBatcher(batch_runs=10)
+        assert b.offer(_report(3)) == "queued"
+        assert b.offer(_report(3)) == "duplicate"
+        assert b.queue_depth == 1
+
+    def test_duplicate_committed(self):
+        # committed takes half-open (start, stop) pairs, manifest-style.
+        b = ReportBatcher(batch_runs=10, committed=[(100, 150)])
+        assert b.is_committed(100)
+        assert b.is_committed(149)
+        assert not b.is_committed(150)
+        assert b.offer(_report(120)) == "duplicate"
+        assert b.queue_depth == 0
+
+    def test_committed_ranges_merge(self):
+        b = ReportBatcher(batch_runs=10, committed=[(0, 10), (20, 30)])
+        b.mark_committed(10, 10)  # bridges the gap: one range [0, 30)
+        assert all(b.is_committed(s) for s in range(0, 30))
+        assert not b.is_committed(30)
+
+    def test_full_raises(self):
+        b = ReportBatcher(batch_runs=10, max_buffered=3)
+        _offer_range(b, 0, 3)
+        with pytest.raises(BatcherFull):
+            b.offer(_report(3))
+        # A duplicate of a pending report never raises, even at capacity.
+        assert b.offer(_report(0)) == "duplicate"
+
+    def test_discard(self):
+        b = ReportBatcher(batch_runs=10)
+        _offer_range(b, 0, 2)
+        b.discard(1)
+        assert b.queue_depth == 1
+        assert b.offer(_report(1)) == "queued"
+
+
+class TestTakeReady:
+    def test_no_batch_until_full_run(self):
+        b = ReportBatcher(batch_runs=5)
+        _offer_range(b, 0, 4)
+        assert b.take_ready() == []
+        b.offer(_report(4))
+        batches = b.take_ready()
+        assert [(s, [r.seed for r in reports]) for s, reports in batches] == [
+            (0, [0, 1, 2, 3, 4])
+        ]
+
+    def test_out_of_order_arrival(self):
+        b = ReportBatcher(batch_runs=3)
+        for seed in (2, 0, 1):
+            b.offer(_report(seed))
+        [(seed_start, reports)] = b.take_ready()
+        assert seed_start == 0
+        assert [r.seed for r in reports] == [0, 1, 2]
+
+    def test_batch_must_align_after_committed_prefix(self):
+        b = ReportBatcher(batch_runs=3, committed=[(0, 3)])
+        _offer_range(b, 3, 6)
+        [(seed_start, reports)] = b.take_ready()
+        assert seed_start == 3
+        assert [r.seed for r in reports] == [3, 4, 5]
+
+    def test_gap_blocks_later_group(self):
+        b = ReportBatcher(batch_runs=3)
+        _offer_range(b, 0, 3)
+        # seeds 4..6 are contiguous with each other but not batch-aligned
+        # relative to their own group start; group [4,5,6] is full-size so
+        # it ships too — groups are independent contiguous runs.
+        _offer_range(b, 4, 7)
+        starts = sorted(s for s, _ in b.take_ready())
+        assert starts == [0, 4]
+
+    def test_pending_until_mark_committed(self):
+        b = ReportBatcher(batch_runs=2)
+        _offer_range(b, 0, 2)
+        [(seed_start, reports)] = b.take_ready()
+        # Reports remain pending (crash between take and commit is safe);
+        # the contract is commit-then-mark, so a second take before the
+        # mark simply hands the same batch back.
+        assert b.queue_depth == 2
+        assert b.take_ready() == [(seed_start, reports)]
+        b.mark_committed(seed_start, len(reports))
+        assert b.queue_depth == 0
+        assert b.offer(_report(0)) == "duplicate"
+
+    def test_multiple_batches_from_one_long_run(self):
+        b = ReportBatcher(batch_runs=2)
+        _offer_range(b, 0, 6)
+        starts = [s for s, _ in b.take_ready()]
+        assert starts == [0, 2, 4]
+
+
+class TestTakeAll:
+    def test_includes_partial_tail(self):
+        b = ReportBatcher(batch_runs=4)
+        _offer_range(b, 0, 6)
+        batches = b.take_all()
+        assert [(s, len(r)) for s, r in batches] == [(0, 4), (4, 2)]
+
+    def test_respects_gaps(self):
+        b = ReportBatcher(batch_runs=10)
+        _offer_range(b, 0, 2)
+        _offer_range(b, 5, 6)
+        batches = b.take_all()
+        assert [(s, len(r)) for s, r in batches] == [(0, 2), (5, 1)]
+
+    def test_empty(self):
+        assert ReportBatcher(batch_runs=4).take_all() == []
+
+
+class TestPendingReports:
+    def test_seed_order(self):
+        b = ReportBatcher(batch_runs=10)
+        for seed in (7, 1, 4):
+            b.offer(_report(seed))
+        assert [r.seed for r in b.pending_reports()] == [1, 4, 7]

@@ -1,0 +1,92 @@
+"""End-to-end Section 5 loop: live server scores drive the online monitor.
+
+The cooperative deployment closes the paper's feedback loop: clients
+upload reports, the server publishes top predictors through
+``GET /scores``, and a client turns those predictors into an
+:class:`repro.core.online.OnlineMonitor` watch list -- so the *next*
+failing run raises an alert before it crashes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.online import OnlineMonitor
+from repro.harness.runner import run_one_trial
+from repro.serve import (
+    ReportSpool,
+    drain_spool,
+    fetch_scores,
+    run_and_spool,
+    watched_from_scores,
+)
+
+N_RUNS = 150
+
+
+def _failing_crash_seed(subject, program, plan, watched):
+    """A seed whose run crashes while observing a watched predictor."""
+    entry = program.func(subject.entry)
+    for seed in range(N_RUNS, N_RUNS + 400):
+        failed, _, pred_true, stack, _ = run_one_trial(
+            subject, program, entry, plan, seed
+        )
+        if failed and stack is not None and watched.keys() & pred_true.keys():
+            return seed
+    pytest.fail("no crashing seed observes a watched predictor")
+
+
+def test_live_scores_arm_a_monitor_that_fires_before_the_crash(
+    tmp_path, ccrypt_server, ccrypt_subject, ccrypt_program, full_plan
+):
+    store, service, server = ccrypt_server
+
+    # Phase 1: a cooperative population streams through the service.
+    spool = ReportSpool(str(tmp_path / "spool"))
+    run_and_spool(ccrypt_subject, ccrypt_program, full_plan, spool, N_RUNS)
+    drain_spool(
+        spool,
+        server.url,
+        ccrypt_subject.name,
+        ccrypt_program.table.signature(),
+        batch_size=50,
+        backoff_base=0.01,
+        jitter=0.0,
+    )
+
+    # Phase 2: pull the live ranking and arm a monitor from it.
+    document = fetch_scores(server.url, k=5)
+    assert document["n_runs"] >= N_RUNS - service.batcher.batch_runs
+    watched = watched_from_scores(document, k=5)
+    assert watched, "the live ranking produced no predictors"
+    assert all(0.0 <= v <= 1.0 for v in watched.values())
+
+    # Phase 3: on a fresh failing input, the alert precedes the crash.
+    seed = _failing_crash_seed(
+        ccrypt_subject, ccrypt_program, full_plan, watched
+    )
+    events = []
+    monitor = OnlineMonitor(
+        ccrypt_program.runtime,
+        watched,
+        on_alert=lambda alert: events.append("alert"),
+    )
+    monitor.install()
+    try:
+        input_rng_seed = seed * 2654435761 % (2 ** 31)
+        trial_input = ccrypt_subject.generate_input(random.Random(input_rng_seed))
+        ccrypt_program.begin_run(full_plan, seed=seed + 1)
+        try:
+            ccrypt_program.func(ccrypt_subject.entry)(trial_input)
+        except Exception:
+            events.append("crash")
+        ccrypt_program.end_run()
+    finally:
+        monitor.uninstall()
+
+    assert monitor.fired
+    assert events[0] == "alert"
+    assert events[-1] == "crash"
+    assert monitor.alerts[0].predicate.index in watched

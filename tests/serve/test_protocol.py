@@ -1,0 +1,180 @@
+"""Wire-format tests: the ``repro-report/v1`` schema and its validation."""
+
+from __future__ import annotations
+
+import gzip
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    REPORT_SCHEMA,
+    ProtocolError,
+    RunReport,
+    decode_body,
+    encode_batch,
+    report_from_wire,
+    validate_payload,
+)
+
+TABLE_SHA = "f" * 64
+
+
+def _report(seed=0, **overrides) -> RunReport:
+    base = dict(
+        seed=seed,
+        failed=bool(seed % 2),
+        site_obs={1: 3, 0: 1},
+        pred_true={2: 4},
+        stack=("f", "g") if seed % 2 else None,
+        bugs=("bug1",) if seed % 2 else (),
+    )
+    base.update(overrides)
+    return RunReport(**base)
+
+
+def _valid(reports, **overrides):
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "subject": "demo",
+        "table_sha": TABLE_SHA,
+        "reports": [r.to_wire() for r in reports],
+    }
+    payload.update(overrides)
+    return payload
+
+
+def _validate(payload):
+    return validate_payload(
+        payload,
+        subject="demo",
+        table_sha=TABLE_SHA,
+        n_sites=10,
+        n_predicates=10,
+        bug_ids=["bug1", "bug2"],
+    )
+
+
+class TestEncodeDecode:
+    def test_gzip_round_trip(self):
+        reports = [_report(0), _report(1)]
+        body, headers = encode_batch(reports, "demo", TABLE_SHA, compress=True)
+        assert headers["Content-Encoding"] == "gzip"
+        payload = decode_body(body, headers.get("Content-Encoding"))
+        decoded = _validate(payload)
+        assert decoded == reports
+
+    def test_identity_round_trip(self):
+        body, headers = encode_batch([_report(5)], "demo", TABLE_SHA, compress=False)
+        assert "Content-Encoding" not in headers
+        decoded = _validate(decode_body(body, None))
+        assert decoded[0].seed == 5
+
+    def test_gzip_bytes_are_deterministic(self):
+        one, _ = encode_batch([_report(3)], "demo", TABLE_SHA)
+        two, _ = encode_batch([_report(3)], "demo", TABLE_SHA)
+        assert one == two
+
+    def test_broken_gzip_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(b"not actually gzip", "gzip")
+        assert err.value.reason == "bad-encoding"
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(b"{}", "br")
+        assert err.value.reason == "bad-encoding"
+
+    def test_unparseable_json_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(b"{nope", None)
+        assert err.value.reason == "bad-json"
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ProtocolError) as err:
+            decode_body(b"[1, 2]", None)
+        assert err.value.reason == "bad-schema"
+
+    def test_oversized_body_rejected(self):
+        # A gzip bomb decompresses far past the wire size; the guard
+        # fires on the decompressed length.
+        body = gzip.compress(b" " * (MAX_BODY_BYTES + 1))
+        with pytest.raises(ProtocolError) as err:
+            decode_body(body, "gzip")
+        assert err.value.reason == "too-large"
+
+
+class TestValidation:
+    def test_wrong_schema(self):
+        with pytest.raises(ProtocolError) as err:
+            _validate(_valid([_report()], schema="repro-report/v0"))
+        assert err.value.reason == "bad-schema"
+
+    def test_wrong_subject(self):
+        with pytest.raises(ProtocolError) as err:
+            _validate(_valid([_report()], subject="other"))
+        assert err.value.reason == "wrong-subject"
+
+    def test_table_mismatch(self):
+        with pytest.raises(ProtocolError) as err:
+            _validate(_valid([_report()], table_sha="0" * 64))
+        assert err.value.reason == "table-mismatch"
+
+    def test_empty_reports(self):
+        with pytest.raises(ProtocolError) as err:
+            _validate(_valid([]))
+        assert err.value.reason == "bad-schema"
+
+    def test_duplicate_seed_in_batch(self):
+        with pytest.raises(ProtocolError) as err:
+            _validate(_valid([_report(4), _report(4)]))
+        assert err.value.reason == "bad-report"
+
+    @pytest.mark.parametrize("seed", [-1, 1.5, "3", True, None])
+    def test_bad_seed(self, seed):
+        wire = _report().to_wire()
+        wire["seed"] = seed
+        with pytest.raises(ProtocolError):
+            report_from_wire(wire, 10, 10, ["bug1"])
+
+    def test_site_index_out_of_range(self):
+        wire = _report().to_wire()
+        wire["site_obs"] = {"10": 1}
+        with pytest.raises(ProtocolError):
+            report_from_wire(wire, 10, 10, ["bug1"])
+
+    def test_pred_index_out_of_range(self):
+        wire = _report().to_wire()
+        wire["pred_true"] = {"-1": 1}
+        with pytest.raises(ProtocolError):
+            report_from_wire(wire, 10, 10, ["bug1"])
+
+    @pytest.mark.parametrize("count", [0, -2, 1.5, True, "3"])
+    def test_bad_counter_value(self, count):
+        wire = _report().to_wire()
+        wire["site_obs"] = {"1": count}
+        with pytest.raises(ProtocolError):
+            report_from_wire(wire, 10, 10, ["bug1"])
+
+    def test_unknown_bug_id(self):
+        wire = _report(1).to_wire()
+        wire["bugs"] = ["not-a-bug"]
+        with pytest.raises(ProtocolError):
+            report_from_wire(wire, 10, 10, ["bug1"])
+
+    def test_bad_stack(self):
+        wire = _report().to_wire()
+        wire["stack"] = [1, 2]
+        with pytest.raises(ProtocolError):
+            report_from_wire(wire, 10, 10, ["bug1"])
+
+    def test_failed_must_be_bool(self):
+        wire = _report().to_wire()
+        wire["failed"] = 1
+        with pytest.raises(ProtocolError):
+            report_from_wire(wire, 10, 10, ["bug1"])
+
+    def test_wire_dict_is_json_clean(self):
+        wire = _report(7).to_wire()
+        assert json.loads(json.dumps(wire)) == wire

@@ -1,0 +1,148 @@
+"""Service smoke test: real processes, concurrent clients, kill/restart.
+
+This is the CI ``service-smoke`` scenario: a collection daemon as a real
+subprocess, two concurrent ``repro-cbi submit`` clients, live ``/scores``
+polling, a SIGKILL mid-stream with acknowledged-but-uncommitted reports
+in the WAL, a restart over the same store, and a graceful SIGTERM drain
+-- after which the store must recover and audit clean.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro.store import ShardStore
+
+pytestmark = pytest.mark.slow
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    return env
+
+
+def _cli(*argv, **kwargs):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv],
+        cwd=REPO,
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        **kwargs,
+    )
+
+
+def _start_server(store_dir, *extra):
+    process = _cli(
+        "serve", str(store_dir), "--port", "0", "--batch-runs", "20",
+        "--sampling", "full", *extra,
+    )
+    line = process.stdout.readline().strip()
+    assert line.startswith("serving ccrypt on http://"), line
+    url = line.split(" on ", 1)[1].split(" ", 1)[0]
+    return process, url
+
+
+def _submit(url, spool_dir, seed, runs):
+    return _cli(
+        "submit", "--subject", "ccrypt", "--url", url,
+        "--runs", str(runs), "--seed", str(seed),
+        "--spool", str(spool_dir), "--batch-size", "10",
+        "--sampling", "full",
+    )
+
+
+def _get(url, path, timeout=5.0):
+    with urllib.request.urlopen(url + path, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def _poll_runs(url, want, deadline=60.0):
+    end = time.time() + deadline
+    while time.time() < end:
+        doc = _get(url, "/scores")
+        if doc["n_runs"] >= want:
+            return doc
+        time.sleep(0.2)
+    pytest.fail(f"server never reached {want} committed runs")
+
+
+def test_service_smoke(tmp_path):
+    store_dir = tmp_path / "store"
+    server, url = _start_server(store_dir, "--subject", "ccrypt")
+    try:
+        # Two concurrent clients over disjoint seed ranges.
+        clients = [
+            _submit(url, tmp_path / "spool-a", 0, 40),
+            _submit(url, tmp_path / "spool-b", 40, 40),
+        ]
+        for client in clients:
+            out, err = client.communicate(timeout=180)
+            assert client.returncode == 0, err
+            assert "submitted: 40 accepted, 0 duplicate, 0 rejected" in out
+
+        # Seeds 0..79 are contiguous, so every batch commits; the live
+        # scores document converges on the full committed population.
+        doc = _poll_runs(url, 80)
+        assert doc["subject"] == "ccrypt"
+        assert doc["num_failing"] > 0
+        assert doc["predicates"], "no predictors over the live population"
+        health = _get(url, "/healthz")
+        assert health["n_runs"] == 80
+        assert health["queue_depth"] == 0
+
+        # A third client leaves a partial tail (half a batch): those 10
+        # reports are acknowledged but live only in the ingest WAL.
+        tail = _submit(url, tmp_path / "spool-c", 80, 10)
+        out, err = tail.communicate(timeout=120)
+        assert tail.returncode == 0, err
+        assert _get(url, "/healthz")["queue_depth"] == 10
+
+        # Kill -9 mid-stream: no drain, no goodbye.
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+    # Restart over the same store: the manifest pins the subject and the
+    # WAL replay restores the acknowledged tail.
+    server, url = _start_server(store_dir)
+    try:
+        assert _get(url, "/healthz")["queue_depth"] == 10
+
+        # Completing the seed range flushes the replayed tail to disk.
+        finish = _submit(url, tmp_path / "spool-d", 90, 10)
+        out, err = finish.communicate(timeout=120)
+        assert finish.returncode == 0, err
+        _poll_runs(url, 100)
+
+        server.send_signal(signal.SIGTERM)
+        out, err = server.communicate(timeout=60)
+        assert server.returncode == 0, err
+        assert "drained 0 pending reports" in out
+        assert "100 runs" in out
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+    store = ShardStore.open(str(store_dir))
+    assert store.n_runs == 100
+    assert store.recover() == ([], [])
+    audit = store.audit()
+    assert audit.runs_lost == 0
+    assert store.n_runs == 100
