@@ -85,6 +85,62 @@ def test_sampling_overhead_ordering(benchmark):
     )
 
 
+def test_fast_sampler_noop_floor_not_regressed(benchmark):
+    """The inlined fast path may not cost more than the legacy sampler.
+
+    The raw-speed pass inlined the "not sampled" countdown decrement
+    into every observation helper precisely to lower the per-opportunity
+    floor that dominates sparse deployments.  This gate holds that
+    floor: at a near-zero rate, where essentially every call takes the
+    no-op branch, the fast path must stay within a generous noise
+    margin of the legacy dispatch sampler it replaced (it is typically
+    measurably *under* it; `BENCH_collection.json`'s `sampler_overhead`
+    scenario records the trajectory).
+    """
+    from repro.core.predicates import PredicateTable, Scheme
+    from repro.instrument.runtime import Runtime
+
+    n_obs = 100_000
+
+    def floor_ns(sampler: str) -> float:
+        table = PredicateTable()
+        site = table.add_site(Scheme.BRANCHES, "bench", 1, "x")
+        runtime = Runtime(table, sampler=sampler)
+        runtime.begin_run(SamplingPlan.uniform(1e-6), seed=0)
+        branch = runtime.branch
+        index = site.index
+
+        def loop():
+            for _ in range(n_obs):
+                branch(index, True)
+
+        best = min(_timed(loop) for _ in range(3))
+        runtime.end_run()
+        return best / n_obs * 1e9
+
+    fast_ns = floor_ns("fast")
+    legacy_ns = floor_ns("legacy")
+
+    benchmark.pedantic(lambda: floor_ns("fast"), rounds=1, iterations=1)
+
+    # Generous margin: the gate only catches a real regression (the fast
+    # path growing a per-call allocation or an extra dispatch), not
+    # scheduler jitter on a loaded CI host.
+    assert fast_ns < legacy_ns * 1.25, (
+        f"fast no-op floor {fast_ns:.0f} ns/obs vs legacy {legacy_ns:.0f} ns/obs"
+    )
+
+    write_result(
+        "sampler_noop_floor.txt",
+        (
+            f"{n_obs} observations at uniform rate 1e-6\n"
+            f"fast sampler:   {fast_ns:8.1f} ns/obs\n"
+            f"legacy sampler: {legacy_ns:8.1f} ns/obs\n"
+            f"speedup:        {legacy_ns / fast_ns:8.2f}x"
+        ),
+    )
+
+
 def test_observability_off_is_a_shared_noop(benchmark):
     """The `repro.obs` hooks on the hot paths must be free when disabled.
 

@@ -133,7 +133,8 @@ def _stats_task(task) -> SufficientStats:
     total: Optional[SufficientStats] = None
     for entry in entries:
         part = load_entry_stats(directory, entry, table_sha)
-        total = part if total is None else total.add(part)
+        # v3 parts are read-only file-mapping views; copy before +=.
+        total = part.materialized() if total is None else total.add(part)
     assert total is not None  # partitions are never empty
     return total
 

@@ -18,10 +18,40 @@ transformation preserves program semantics.
 One :class:`Runtime` is shared across all runs of an instrumented program;
 :meth:`Runtime.begin_run` resets the counters and installs the sampling
 plan for the next execution.
+
+The hot-path layout (the fast sampler)
+--------------------------------------
+
+Every one of a deployment's millions of trials pays the helpers' cost at
+every observation opportunity, so the common "not sampled" case is kept
+as cheap as pure Python allows:
+
+* the countdown is **inlined** into each helper -- a skipped opportunity
+  costs one attribute load, an integer decrement and a store, with no
+  ``self._take(site)`` method call (no frame push) on the way;
+* the sampler's identity is an explicit :attr:`mode` attribute (mirrored
+  by the integer ``_mode_id`` the helpers branch on), not a bound-method
+  comparison;
+* uniform-mode countdown refills are **batched**: geometric gaps are
+  pre-drawn :data:`GAP_BATCH` at a time with the ``log(1-rate)``
+  denominator computed once per run, amortising the ``math`` calls and
+  attribute traffic of a per-refill draw.  Pre-drawing consumes the RNG
+  in exactly the order a lazy draw would, so the take/skip decision
+  stream -- and therefore every downstream count and score -- is
+  bit-identical to the unbatched sampler; the pending gaps travel inside
+  :meth:`sampler_state` snapshots so resumability is unaffected.
+
+The pre-fast-path implementation survives as the **legacy sampler**
+(``Runtime(table, sampler="legacy")`` or :meth:`select_sampler`): helpers
+that dispatch through ``self._take`` and refill one gap at a time.  It
+exists so the differential suite can pin, on real subjects, that the fast
+path changes only the clock, never a counter
+(``tests/core/test_differential_pr6.py``).
 """
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Dict, List, Sequence, Tuple
 
@@ -34,6 +64,24 @@ from repro.obs import enabled as _obs_enabled, inc as _obs_inc
 UNBOUND = object()
 
 _NUMERIC = (int, float)
+
+#: Uniform-mode gap draws per batched refill (fast sampler).  One draw
+#: consumes exactly one RNG variate whatever the batch size, so the
+#: decision stream is invariant under this constant.
+GAP_BATCH = 64
+
+#: Smallest positive normal double; values strictly inside (0, _TINY)
+#: are subnormal.
+_TINY = 2.2250738585072014e-308
+
+_INF = float("inf")
+_NINF = float("-inf")
+
+#: Integer mode ids the hot helpers branch on (cheaper than string
+#: comparison, and immune to bound-method identity games).
+_MODE_FULL, _MODE_UNIFORM, _MODE_PER_SITE = 0, 1, 2
+
+_MODE_IDS = {"full": _MODE_FULL, "uniform": _MODE_UNIFORM, "per-site": _MODE_PER_SITE}
 
 
 def _is_scalar(value) -> bool:
@@ -53,24 +101,56 @@ class Runtime:
 
     Attributes:
         table: The :class:`PredicateTable` registered by the transformer.
+        mode: The active sampling mode (``"full"``, ``"uniform"`` or
+            ``"per-site"``) -- the explicit sampler identity that
+            :meth:`sampler_state` snapshots.
     """
 
     #: Exposed so instrumented code can reference ``_cbi.UNBOUND``.
     UNBOUND = UNBOUND
 
-    def __init__(self, table: PredicateTable) -> None:
+    def __init__(self, table: PredicateTable, sampler: str = "fast") -> None:
         self.table = table
         self._base: List[int] = []
         self._site_obs: List[int] = []
         self._true: List[int] = []
+        self.mode = "full"
+        self._mode_id = _MODE_FULL
         self._take = self._take_full
         self._rate = 1.0
         self._gap = 1
+        self._log_q = 0.0
+        self._pending: List[int] = []
+        self._gap_batch = GAP_BATCH
         self._gaps: List[int] = []
         self._rates: List[float] = []
         self._rng = random.Random(0)
         self._rng_random = self._rng.random
+        self.select_sampler(sampler)
         self.refresh()
+
+    def select_sampler(self, sampler: str) -> None:
+        """Choose the helper implementations: ``"fast"`` or ``"legacy"``.
+
+        The decision streams are identical (the differential suite pins
+        it); only the per-opportunity cost differs.  Instrumented code
+        looks the helpers up on the instance, so the legacy path is
+        installed by shadowing the class methods with the ``_legacy_*``
+        bound methods, and the fast path by removing the shadows.
+        """
+        if sampler == "fast":
+            self._gap_batch = GAP_BATCH
+            for name in ("branch", "ret", "pairs", "float_kind", "enter", "custom"):
+                self.__dict__.pop(name, None)
+        elif sampler == "legacy":
+            # Legacy refills draw one gap at a time: the RNG state at any
+            # instant matches the original implementation exactly.
+            self._gap_batch = 1
+            for name in ("branch", "ret", "pairs", "float_kind", "enter", "custom"):
+                self.__dict__[name] = getattr(self, f"_legacy_{name}")
+        else:
+            raise ValueError(f"unknown sampler implementation {sampler!r}")
+        self.sampler = sampler
 
     def refresh(self) -> None:
         """Re-derive per-site predicate base indices after registration.
@@ -97,6 +177,7 @@ class Runtime:
         self._true = [0] * n_preds
         self._rng = random.Random(seed)
         self._rng_random = self._rng.random
+        self._pending = []
 
         if _obs_enabled():
             _obs_inc(f"runtime.begin_run.{plan.mode}")
@@ -104,6 +185,7 @@ class Runtime:
             self._take = self._take_full
         elif plan.mode == "uniform":
             self._rate = plan.rate
+            self._log_q = math.log(1.0 - plan.rate) if plan.rate < 1.0 else 0.0
             self._gap = geometric_gap(plan.rate, self._rng_random())
             self._take = self._take_uniform
         elif plan.mode == "per-site":
@@ -116,6 +198,8 @@ class Runtime:
             self._take = self._take_persite
         else:
             raise ValueError(f"unknown sampling mode {plan.mode!r}")
+        self.mode = plan.mode
+        self._mode_id = _MODE_IDS[plan.mode]
 
     def end_run(self) -> Tuple[Dict[int, int], Dict[int, int]]:
         """Return ``(site_observed, pred_true)`` sparse count dicts.
@@ -148,20 +232,21 @@ class Runtime:
         (`tests/instrument/test_sampling_properties.py`) pins that the
         countdown state survives an arbitrary split point, the in-process
         analogue of a shard boundary.
+
+        The snapshot carries the explicit :attr:`mode` attribute (under
+        both ``"mode"`` and the pre-fast-path key ``"kind"``) and the
+        batched sampler's undealt pre-drawn gaps (``"pending"``, in
+        consumption order), so snapshots splice across fast and legacy
+        runtimes in either direction.
         """
-        kind = (
-            "full"
-            if self._take == self._take_full
-            else "uniform"
-            if self._take == self._take_uniform
-            else "per-site"
-        )
         return {
-            "kind": kind,
+            "kind": self.mode,
+            "mode": self.mode,
             "rate": self._rate,
             "gap": self._gap,
             "rates": list(self._rates),
             "gaps": list(self._gaps),
+            "pending": list(reversed(self._pending)),
             "rng": self._rng.getstate(),
         }
 
@@ -171,26 +256,34 @@ class Runtime:
         Only the sampling side (countdowns and RNG) is restored; the
         observation counters are left alone, so a caller can both resume
         a run and splice decision streams across runtime instances.
+        Snapshots written before the fast-path sampler (no ``"mode"`` or
+        ``"pending"`` keys) restore too.
         """
-        kind = state["kind"]
+        kind = state.get("kind", state.get("mode"))
+        if kind not in _MODE_IDS:
+            raise ValueError(f"unknown sampler kind {kind!r} in snapshot")
         self._rate = float(state["rate"])  # type: ignore[arg-type]
         self._gap = int(state["gap"])  # type: ignore[arg-type]
         self._rates = [float(r) for r in state["rates"]]  # type: ignore[union-attr]
         self._gaps = [int(g) for g in state["gaps"]]  # type: ignore[union-attr]
+        self._pending = [int(g) for g in reversed(state.get("pending", ()))]  # type: ignore[arg-type]
+        self._log_q = math.log(1.0 - self._rate) if 0.0 < self._rate < 1.0 else 0.0
         self._rng = random.Random()
         self._rng.setstate(state["rng"])  # type: ignore[arg-type]
         self._rng_random = self._rng.random
+        self.mode = kind  # type: ignore[assignment]
+        self._mode_id = _MODE_IDS[kind]
         if kind == "full":
             self._take = self._take_full
         elif kind == "uniform":
             self._take = self._take_uniform
-        elif kind == "per-site":
-            self._take = self._take_persite
         else:
-            raise ValueError(f"unknown sampler kind {kind!r} in snapshot")
+            self._take = self._take_persite
 
     # ------------------------------------------------------------------
-    # Samplers (bound to self._take per run)
+    # Samplers (bound to self._take per run).  These are the dispatching
+    # reference implementations; the fast helpers inline the same
+    # countdown over the same state, so mixing calls is always safe.
     # ------------------------------------------------------------------
     def _take_full(self, site: int) -> bool:
         return True
@@ -200,7 +293,7 @@ class Runtime:
         if g > 0:
             self._gap = g
             return False
-        self._gap = geometric_gap(self._rate, self._rng_random())
+        self._gap = self._next_gap()
         return True
 
     def _take_persite(self, site: int) -> bool:
@@ -212,18 +305,57 @@ class Runtime:
         gaps[site] = geometric_gap(self._rates[site], self._rng_random())
         return True
 
+    def _next_gap(self) -> int:
+        """Deal the next uniform-mode gap, refilling the batch when dry.
+
+        Gaps are consumed in draw order (the batch is stored reversed so
+        ``pop()`` is O(1)), and every gap costs exactly one RNG variate,
+        so the decision stream is independent of ``_gap_batch``.
+        """
+        pending = self._pending
+        if not pending:
+            rnd = self._rng_random
+            rate = self._rate
+            if rate >= 1.0:
+                pending[:] = [geometric_gap(rate, rnd()) for _ in range(self._gap_batch)]
+            else:
+                log_q = self._log_q
+                floor = math.floor
+                log = math.log
+                pending[:] = [
+                    int(floor(log(max(rnd(), 1e-300)) / log_q)) + 1
+                    for _ in range(self._gap_batch)
+                ]
+            pending.reverse()
+        return pending.pop()
+
     # ------------------------------------------------------------------
-    # Observation helpers called from instrumented code
+    # Observation helpers called from instrumented code (fast path).
+    # The countdown is inlined: a skipped opportunity is one attribute
+    # load, a decrement and a store -- no method dispatch.
     # ------------------------------------------------------------------
     def branch(self, site: int, value):
         """Record a branch test outcome; returns ``value`` unchanged."""
-        if self._take(site):
-            self._site_obs[site] += 1
-            b = self._base[site]
-            if value:
-                self._true[b] += 1
-            else:
-                self._true[b + 1] += 1
+        m = self._mode_id
+        if m == _MODE_UNIFORM:
+            g = self._gap - 1
+            if g > 0:
+                self._gap = g
+                return value
+            self._gap = self._next_gap()
+        elif m == _MODE_PER_SITE:
+            gaps = self._gaps
+            g = gaps[site] - 1
+            if g > 0:
+                gaps[site] = g
+                return value
+            gaps[site] = geometric_gap(self._rates[site], self._rng_random())
+        self._site_obs[site] += 1
+        b = self._base[site]
+        if value:
+            self._true[b] += 1
+        else:
+            self._true[b + 1] += 1
         return value
 
     def ret(self, site: int, value):
@@ -233,7 +365,21 @@ class Runtime:
         the paper's sense -- leave the site unobserved, mirroring the C
         scheme's restriction to scalar-returning call sites.
         """
-        if _is_scalar(value) and self._take(site):
+        if isinstance(value, _NUMERIC) and not isinstance(value, bool):
+            m = self._mode_id
+            if m == _MODE_UNIFORM:
+                g = self._gap - 1
+                if g > 0:
+                    self._gap = g
+                    return value
+                self._gap = self._next_gap()
+            elif m == _MODE_PER_SITE:
+                gaps = self._gaps
+                g = gaps[site] - 1
+                if g > 0:
+                    gaps[site] = g
+                    return value
+                gaps[site] = geometric_gap(self._rates[site], self._rng_random())
             self._site_obs[site] += 1
             b = self._base[site]
             t = self._true
@@ -258,6 +404,160 @@ class Runtime:
         independently.  Non-numeric operands (including ``bool`` and the
         :data:`UNBOUND` sentinel) leave their site unobserved.
         """
+        if not (isinstance(x, _NUMERIC) and not isinstance(x, bool)):
+            return
+        m = self._mode_id
+        t = self._true
+        for site, y in zip(sites, ys):
+            if not (isinstance(y, _NUMERIC) and not isinstance(y, bool)):
+                continue
+            if m == _MODE_UNIFORM:
+                g = self._gap - 1
+                if g > 0:
+                    self._gap = g
+                    continue
+                self._gap = self._next_gap()
+            elif m == _MODE_PER_SITE:
+                gaps = self._gaps
+                g = gaps[site] - 1
+                if g > 0:
+                    gaps[site] = g
+                    continue
+                gaps[site] = geometric_gap(self._rates[site], self._rng_random())
+            self._site_obs[site] += 1
+            b = self._base[site]
+            if x < y:
+                t[b] += 1      # <
+                t[b + 4] += 1  # !=
+                t[b + 5] += 1  # <=
+            elif x == y:
+                t[b + 1] += 1  # ==
+                t[b + 3] += 1  # >=
+                t[b + 5] += 1  # <=
+            else:
+                t[b + 2] += 1  # >
+                t[b + 3] += 1  # >=
+                t[b + 4] += 1  # !=
+
+    def float_kind(self, site: int, value) -> None:
+        """Classify a freshly assigned floating-point value.
+
+        Family offsets: negative, zero, positive, NaN, infinite,
+        subnormal.  The families are **mutually exclusive** (the paper's
+        Section 5 "kinds": every sampled value belongs to exactly one),
+        classified specific-first: NaN, then infinite, then zero, then
+        subnormal, then the sign of an ordinary normal value -- see
+        docs/ALGORITHM.md.  Non-float values leave the site unobserved.
+        """
+        if type(value) is float:
+            m = self._mode_id
+            if m == _MODE_UNIFORM:
+                g = self._gap - 1
+                if g > 0:
+                    self._gap = g
+                    return
+                self._gap = self._next_gap()
+            elif m == _MODE_PER_SITE:
+                gaps = self._gaps
+                g = gaps[site] - 1
+                if g > 0:
+                    gaps[site] = g
+                    return
+                gaps[site] = geometric_gap(self._rates[site], self._rng_random())
+            self._site_obs[site] += 1
+            b = self._base[site]
+            t = self._true
+            if value != value:  # NaN
+                t[b + 3] += 1
+            elif value == _INF or value == _NINF:
+                t[b + 4] += 1
+            elif value == 0.0:
+                t[b + 1] += 1
+            elif -_TINY < value < _TINY:
+                t[b + 5] += 1  # subnormal (nonzero, below the normal floor)
+            elif value < 0.0:
+                t[b] += 1
+            else:
+                t[b + 2] += 1
+
+    def enter(self, site: int) -> None:
+        """Record a function entry (the ``function-entries`` scheme)."""
+        m = self._mode_id
+        if m == _MODE_UNIFORM:
+            g = self._gap - 1
+            if g > 0:
+                self._gap = g
+                return
+            self._gap = self._next_gap()
+        elif m == _MODE_PER_SITE:
+            gaps = self._gaps
+            g = gaps[site] - 1
+            if g > 0:
+                gaps[site] = g
+                return
+            gaps[site] = geometric_gap(self._rates[site], self._rng_random())
+        self._site_obs[site] += 1
+        self._true[self._base[site]] += 1
+
+    def custom(self, site: int, flags: Sequence[bool]) -> None:
+        """Record a hand-rolled predicate family (Section 5 extensions)."""
+        m = self._mode_id
+        if m == _MODE_UNIFORM:
+            g = self._gap - 1
+            if g > 0:
+                self._gap = g
+                return
+            self._gap = self._next_gap()
+        elif m == _MODE_PER_SITE:
+            gaps = self._gaps
+            g = gaps[site] - 1
+            if g > 0:
+                gaps[site] = g
+                return
+            gaps[site] = geometric_gap(self._rates[site], self._rng_random())
+        self._site_obs[site] += 1
+        base = self._base[site]
+        t = self._true
+        for offset, flag in enumerate(flags):
+            if flag:
+                t[base + offset] += 1
+
+    # ------------------------------------------------------------------
+    # Legacy helpers: the pre-fast-path implementations, dispatching
+    # through ``self._take`` per opportunity.  Installed by
+    # ``select_sampler("legacy")``; the differential suite pins that they
+    # and the fast path produce identical counters run for run.
+    # ------------------------------------------------------------------
+    def _legacy_branch(self, site: int, value):
+        if self._take(site):
+            self._site_obs[site] += 1
+            b = self._base[site]
+            if value:
+                self._true[b] += 1
+            else:
+                self._true[b + 1] += 1
+        return value
+
+    def _legacy_ret(self, site: int, value):
+        if _is_scalar(value) and self._take(site):
+            self._site_obs[site] += 1
+            b = self._base[site]
+            t = self._true
+            if value < 0:
+                t[b] += 1
+                t[b + 4] += 1
+                t[b + 5] += 1
+            elif value == 0:
+                t[b + 1] += 1
+                t[b + 3] += 1
+                t[b + 5] += 1
+            else:
+                t[b + 2] += 1
+                t[b + 3] += 1
+                t[b + 4] += 1
+        return value
+
+    def _legacy_pairs(self, sites: Sequence[int], x, ys: Sequence) -> None:
         if not _is_scalar(x):
             return
         take = self._take
@@ -267,53 +567,45 @@ class Runtime:
                 self._site_obs[site] += 1
                 b = self._base[site]
                 if x < y:
-                    t[b] += 1      # <
-                    t[b + 4] += 1  # !=
-                    t[b + 5] += 1  # <=
+                    t[b] += 1
+                    t[b + 4] += 1
+                    t[b + 5] += 1
                 elif x == y:
-                    t[b + 1] += 1  # ==
-                    t[b + 3] += 1  # >=
-                    t[b + 5] += 1  # <=
+                    t[b + 1] += 1
+                    t[b + 3] += 1
+                    t[b + 5] += 1
                 else:
-                    t[b + 2] += 1  # >
-                    t[b + 3] += 1  # >=
-                    t[b + 4] += 1  # !=
+                    t[b + 2] += 1
+                    t[b + 3] += 1
+                    t[b + 4] += 1
 
-    def float_kind(self, site: int, value) -> None:
-        """Classify a freshly assigned floating-point value.
-
-        Family offsets: negative, zero, positive, NaN, infinite,
-        subnormal.  Non-float values leave the site unobserved.
-        """
+    def _legacy_float_kind(self, site: int, value) -> None:
         if type(value) is float and self._take(site):
             self._site_obs[site] += 1
             b = self._base[site]
             t = self._true
-            if value != value:  # NaN
+            if value != value:
                 t[b + 3] += 1
-                return
-            if value == float("inf") or value == float("-inf"):
+            elif value == _INF or value == _NINF:
                 t[b + 4] += 1
-            if value < 0.0:
-                t[b] += 1
             elif value == 0.0:
                 t[b + 1] += 1
+            elif -_TINY < value < _TINY:
+                t[b + 5] += 1
+            elif value < 0.0:
+                t[b] += 1
             else:
                 t[b + 2] += 1
-            if 0.0 < abs(value) < 2.2250738585072014e-308:
-                t[b + 5] += 1
 
-    def enter(self, site: int) -> None:
-        """Record a function entry (the ``function-entries`` scheme)."""
+    def _legacy_enter(self, site: int) -> None:
         if self._take(site):
             self._site_obs[site] += 1
             self._true[self._base[site]] += 1
 
-    def custom(self, site: int, flags: Sequence[bool]) -> None:
-        """Record a hand-rolled predicate family (Section 5 extensions)."""
+    def _legacy_custom(self, site: int, flags: Sequence[bool]) -> None:
         if self._take(site):
             self._site_obs[site] += 1
-            base = self.table.predicate_indices_at(site)[0]
+            base = self._base[site]
             for offset, flag in enumerate(flags):
                 if flag:
                     self._true[base + offset] += 1

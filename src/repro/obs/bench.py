@@ -4,17 +4,22 @@ Running the bench appends one *entry* to each of two append-only JSON
 documents at the repo root (or ``--out-dir``):
 
 * ``BENCH_collection.json`` -- collection-side scenarios: instrumented
-  trial throughput (runs/sec) for every registered subject, the
-  supervised sharded collector's end-to-end throughput including its
-  disk commits, and the networked ingestion path's reports/sec and MB/s
-  through ``POST /reports`` at upload batch sizes 1/32/256
-  (``serve_ingest``);
+  trial throughput (runs/sec) for every registered subject, the raw
+  per-observation sampler cost at a near-zero rate (``sampler_overhead``:
+  the fast path's no-op floor vs the legacy dispatch sampler, in ns per
+  observation), the supervised sharded collector's end-to-end throughput
+  including its disk commits, and the networked ingestion path's
+  reports/sec and MB/s through ``POST /reports`` at upload batch sizes
+  1/32/256 (``serve_ingest``);
 * ``BENCH_analysis.json`` -- analysis-side scenarios: streaming-merge
-  bandwidth (MB/s over the shard bytes), end-to-end scoring latency
-  (streamed sufficient statistics -> scores -> pruning) at three store
-  sizes, and the parallel engine's serial-vs-``--jobs 4`` scoring walls
-  at the same sizes (speedup is hardware-relative: the entry's
-  ``environment.cpu_count`` says how many cores the measurement had).
+  bandwidth (MB/s over the shard bytes), shard statistics decode
+  bandwidth for the v2 ``.npz`` layout vs the v3 memory-mapped layout
+  over the same population (``shard_decode``), end-to-end scoring
+  latency (streamed sufficient statistics -> scores -> pruning) at
+  three store sizes, and the parallel engine's serial-vs-``--jobs 4``
+  scoring walls at the same sizes (speedup is hardware-relative: the
+  entry's ``environment.cpu_count`` says how many cores the measurement
+  had).
 
 Both documents share schema :data:`BENCH_SCHEMA` (``repro-bench/v1``),
 documented with a worked example in ``docs/OBSERVABILITY.md``; the
@@ -113,6 +118,39 @@ def run_collection_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
                 subject=name,
             )
         )
+
+    # Raw per-observation sampler cost at a near-zero sampling rate: the
+    # "not sampled" case is the one paid millions of times per deployed
+    # run, so this measures the no-op floor of the fast path (inlined
+    # countdown decrement) against the legacy method-dispatch sampler.
+    from repro.core.predicates import PredicateTable, Scheme
+    from repro.instrument.runtime import Runtime
+
+    n_obs = _scaled(20_000 if quick else 200_000, scale)
+    walls: Dict[str, float] = {}
+    for sampler in ("fast", "legacy"):
+        table = PredicateTable()
+        site = table.add_site(Scheme.BRANCHES, "bench", 1, "x")
+        runtime = Runtime(table, sampler=sampler)
+        runtime.begin_run(SamplingPlan.uniform(1e-6), seed=0)
+        branch = runtime.branch
+        index = site.index
+        start = time.perf_counter()
+        for _ in range(n_obs):
+            branch(index, True)
+        walls[sampler] = time.perf_counter() - start
+        runtime.end_run()
+    scenarios.append(
+        _scenario(
+            "sampler_overhead",
+            {"observations": n_obs, "sampling": "uniform", "rate": 1e-6},
+            {
+                "fast_ns_per_obs": walls["fast"] / n_obs * 1e9,
+                "legacy_ns_per_obs": walls["legacy"] / n_obs * 1e9,
+                "speedup": walls["legacy"] / max(walls["fast"], 1e-12),
+            },
+        )
+    )
 
     # The supervised sharded collector, including its fsync'd commits.
     subject = SUBJECTS["ccrypt"]()
@@ -301,6 +339,53 @@ def run_analysis_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
                 {
                     "wall_seconds": wall,
                     "mb_per_sec": total_bytes / 1e6 / max(wall, 1e-9),
+                },
+                subject="ccrypt",
+            )
+        )
+
+        # Shard statistics decode bandwidth, v2 (.npz, decompressing)
+        # vs v3 (mmap, zero-copy), over the same population: the raw
+        # speed win the v3 layout exists for.  Each pass re-reads every
+        # shard's statistics exactly as the streaming scorer would.
+        from repro.core.io import load_reports, load_shard_stats, save_reports
+
+        v2_dir = os.path.join(tmp, "decode-v2")
+        v3_dir = os.path.join(tmp, "decode-v3")
+        os.makedirs(v2_dir)
+        os.makedirs(v3_dir)
+        shard_bytes = {2: 0, 3: 0}
+        for i, path in enumerate(store.shard_paths()):
+            reports, truth = load_reports(path)
+            for version, directory in ((2, v2_dir), (3, v3_dir)):
+                out = os.path.join(directory, f"shard-{i:04d}")
+                save_reports(out, reports, truth, version=version)
+                shard_bytes[version] += os.path.getsize(out)
+        passes = 3 if quick else 10
+        decode_walls = {}
+        for version, directory in ((2, v2_dir), (3, v3_dir)):
+            names = sorted(os.listdir(directory))
+            start = time.perf_counter()
+            for _ in range(passes):
+                for name in names:
+                    load_shard_stats(os.path.join(directory, name))
+            decode_walls[version] = time.perf_counter() - start
+        scenarios.append(
+            _scenario(
+                "shard_decode",
+                {
+                    "runs": size,
+                    "shards": store.n_shards,
+                    "passes": passes,
+                    "v2_bytes": shard_bytes[2],
+                    "v3_bytes": shard_bytes[3],
+                },
+                {
+                    "v2_mb_per_sec": shard_bytes[2] * passes / 1e6
+                    / max(decode_walls[2], 1e-9),
+                    "v3_mb_per_sec": shard_bytes[3] * passes / 1e6
+                    / max(decode_walls[3], 1e-9),
+                    "speedup": decode_walls[2] / max(decode_walls[3], 1e-12),
                 },
                 subject="ccrypt",
             )

@@ -95,6 +95,25 @@ class SufficientStats:
                 f"{other.n_predicates} predicates -- different tables?"
             )
 
+    def materialized(self) -> "SufficientStats":
+        """A writable deep copy of these statistics.
+
+        Statistics loaded from a format-v3 archive are zero-copy
+        *read-only* views of the file mapping
+        (:func:`repro.core.io.load_shard_stats`), so an accumulator
+        seeded directly from one (``total = part; total.add(...)``)
+        would crash on the in-place ``+=``.  Seed accumulators with a
+        copy; the per-shard parts themselves are never written to.
+        """
+        return SufficientStats(
+            F=np.array(self.F, dtype=np.int64),
+            S=np.array(self.S, dtype=np.int64),
+            F_obs=np.array(self.F_obs, dtype=np.int64),
+            S_obs=np.array(self.S_obs, dtype=np.int64),
+            num_failing=self.num_failing,
+            num_successful=self.num_successful,
+        )
+
     def add(self, other: "SufficientStats") -> "SufficientStats":
         """Accumulate another shard's statistics in place."""
         self._check_compatible(other)

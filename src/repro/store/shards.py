@@ -4,8 +4,9 @@ A :class:`ShardStore` wraps a directory laid out as::
 
     store/
       manifest.json           # ShardManifest: provenance + membership
-      shard-00000000.npz      # format-v2 report archives (core/io.py)
-      shard-00000200.npz
+      shard-00000000.npz      # report archives (core/io.py); the .npz
+      shard-00000200.npz      #   suffix is historical -- v3 shards are
+                              #   mmap-columnar files, sniffed by magic
       ...
       collection_log.jsonl    # append-only record of collection events
       quarantine/             # damaged shards, moved aside with reasons
@@ -59,6 +60,7 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.core.io import (
     FORMAT_VERSION,
+    WRITABLE_VERSIONS,
     ArchiveError,
     file_sha256,
     load_reports,
@@ -339,6 +341,21 @@ class ShardStore:
         return len(self.manifest.shards)
 
     @property
+    def shard_format_version(self) -> int:
+        """Archive version this store's shards are written in.
+
+        Pinned at creation (new stores get the current
+        :data:`repro.core.io.FORMAT_VERSION`), so append sessions to a
+        store collected under an older format keep it homogeneous --
+        readers dispatch per file either way, but a uniform store keeps
+        its checksums comparable across sessions.  Stores whose manifest
+        predates writable-version tracking fall back to the current
+        writer.
+        """
+        version = self.manifest.format_version
+        return version if version in WRITABLE_VERSIONS else FORMAT_VERSION
+
+    @property
     def n_runs(self) -> int:
         """Total runs across shards."""
         return self.manifest.n_runs
@@ -430,7 +447,7 @@ class ShardStore:
         if os.path.exists(path):
             raise FileExistsError(f"shard {filename} already exists in the store")
         staged = path + PENDING_SUFFIX
-        save_reports(staged, reports, truth)
+        save_reports(staged, reports, truth, version=self.shard_format_version)
         self.commit_shard(
             ShardEntry(
                 filename=filename,
@@ -756,10 +773,12 @@ class ShardStore:
     def sufficient_stats(self, jobs: int = 1) -> SufficientStats:
         """Accumulate scoring statistics across shards, streaming.
 
-        For format-v2 shards this reads only the six embedded statistic
-        arrays per shard -- the run-by-predicate matrices are never
-        reconstructed, so parent memory is bounded by one predicate-length
-        array set regardless of how many runs the store holds.
+        Format-v3 shards are memory-mapped and only the statistic
+        columns' pages are touched (zero-copy); format-v2 shards read
+        six small arrays out of their ``.npz``.  Either way the
+        run-by-predicate matrices are never reconstructed, so parent
+        memory is bounded by one predicate-length array set regardless
+        of how many runs the store holds.
 
         Args:
             jobs: With ``jobs > 1``, disjoint shard subsets stream in
@@ -788,7 +807,9 @@ class ShardStore:
                 part = load_entry_stats(
                     self.directory, entry, self.manifest.table_sha
                 )
-                total = part if total is None else total.add(part)
+                # v3 parts are read-only file-mapping views; seed the
+                # accumulator with a writable copy before += kicks in.
+                total = part.materialized() if total is None else total.add(part)
         assert total is not None
         return total
 

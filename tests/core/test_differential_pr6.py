@@ -1,0 +1,225 @@
+"""Differential suite for the raw-speed pass: fast paths change no bits.
+
+Four independent equivalences, each across all five paper subjects:
+
+* **Sampler fast path vs legacy dispatch** -- the inlined-countdown
+  helpers (``Runtime(sampler="fast")``, the default) produce the exact
+  run records the original ``_take``-dispatch helpers produce for the
+  same seeds, under full, uniform and per-site plans;
+* **Archive v1 vs v2 vs v3** -- one population saved in every readable
+  layout loads back to bitwise-identical scores;
+* **Serial vs ``--jobs``** over a v3 (memory-mapped) store -- the
+  parallel engine's bit-identity contract extends to the zero-copy
+  reader;
+* **Observability on vs off** -- metrics instrumentation never touches
+  the analysed numbers.
+
+Float comparisons are bitwise (``tobytes``), not ``allclose``; weakening
+any equality here to a tolerance is a bug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scores import compute_scores
+from repro.harness.runner import run_trials
+from repro.instrument.sampling import SamplingPlan
+from repro.instrument.tracer import instrument_source
+from repro.store import ShardStore
+from repro.subjects.bc import BcSubject
+from repro.subjects.ccrypt import CcryptSubject
+from repro.subjects.exif import ExifSubject
+from repro.subjects.moss import MossSubject
+from repro.subjects.rhythmbox import RhythmboxSubject
+
+SUBJECTS = [MossSubject, CcryptSubject, BcSubject, ExifSubject, RhythmboxSubject]
+
+SUBJECT_FIXTURES = [
+    "moss_experiment",
+    "ccrypt_experiment",
+    "bc_experiment",
+    "exif_experiment",
+    "rhythmbox_experiment",
+]
+
+_SCORE_FIELDS = (
+    "F",
+    "S",
+    "F_obs",
+    "S_obs",
+    "failure",
+    "context",
+    "increase",
+    "increase_se",
+    "increase_lo",
+    "increase_hi",
+    "z",
+    "defined",
+)
+
+
+def _assert_scores_bitwise_equal(a, b, label=""):
+    for name in _SCORE_FIELDS:
+        lhs, rhs = getattr(a, name), getattr(b, name)
+        assert np.asarray(lhs).tobytes() == np.asarray(rhs).tobytes(), (
+            f"{label}: score field {name} differs"
+        )
+    assert a.num_failing == b.num_failing and a.num_successful == b.num_successful
+
+
+def _assert_reports_identical(a, b, label=""):
+    assert a.failed.tolist() == b.failed.tolist(), label
+    assert (a.site_counts != b.site_counts).nnz == 0, label
+    assert (a.true_counts != b.true_counts).nnz == 0, label
+    assert a.stacks == b.stacks and a.metas == b.metas, label
+    _assert_scores_bitwise_equal(compute_scores(a), compute_scores(b), label)
+
+
+class TestSamplerFastPathDifferential:
+    """The inlined fast-path helpers replay the legacy decision stream."""
+
+    @pytest.mark.parametrize("subject_cls", SUBJECTS)
+    def test_fast_equals_legacy_under_uniform_sampling(self, subject_cls):
+        subject = subject_cls()
+        plan = SamplingPlan.uniform(0.2)
+        populations = {}
+        for sampler in ("fast", "legacy"):
+            program = instrument_source(subject.source(), subject.name)
+            program.runtime.select_sampler(sampler)
+            populations[sampler] = run_trials(subject, program, 60, plan, seed=11)
+        reports_fast, truth_fast = populations["fast"]
+        reports_legacy, truth_legacy = populations["legacy"]
+        _assert_reports_identical(
+            reports_fast, reports_legacy, f"{subject.name}/uniform"
+        )
+        assert truth_fast.occurrences == truth_legacy.occurrences
+
+    @pytest.mark.parametrize("subject_cls", SUBJECTS)
+    def test_fast_equals_legacy_under_full_observation(self, subject_cls):
+        subject = subject_cls()
+        populations = {}
+        for sampler in ("fast", "legacy"):
+            program = instrument_source(subject.source(), subject.name)
+            program.runtime.select_sampler(sampler)
+            populations[sampler] = run_trials(
+                subject, program, 40, SamplingPlan.full(), seed=5
+            )
+        _assert_reports_identical(
+            populations["fast"][0], populations["legacy"][0], f"{subject.name}/full"
+        )
+
+    def test_fast_equals_legacy_under_per_site_rates(self):
+        subject = MossSubject()
+        base = instrument_source(subject.source(), subject.name)
+        n_sites = len(base.table.sites)
+        rates = [0.05 + 0.9 * (i % 7) / 7 for i in range(n_sites)]
+        plan = SamplingPlan.per_site(rates)
+        populations = {}
+        for sampler in ("fast", "legacy"):
+            program = instrument_source(subject.source(), subject.name)
+            program.runtime.select_sampler(sampler)
+            populations[sampler] = run_trials(subject, program, 50, plan, seed=23)
+        _assert_reports_identical(
+            populations["fast"][0], populations["legacy"][0], "moss/per-site"
+        )
+
+
+class TestArchiveVersionDifferential:
+    """One population, three on-disk layouts, identical scores."""
+
+    @pytest.mark.parametrize("fixture", SUBJECT_FIXTURES)
+    def test_v1_v2_v3_score_identically(self, fixture, request, tmp_path):
+        from repro.core.io import load_reports, save_reports
+
+        experiment = request.getfixturevalue(fixture)
+        reports, truth = experiment.reports, experiment.truth
+        expected = compute_scores(reports)
+
+        paths = {}
+        for version in (2, 3):
+            path = tmp_path / f"a.v{version}"
+            save_reports(str(path), reports, truth, version=version)
+            paths[version] = path
+        # Derive a v1 archive by stripping the v2-only members.
+        v1 = tmp_path / "a.v1"
+        data = dict(np.load(str(paths[2]), allow_pickle=False))
+        for key in list(data):
+            if key.startswith("stats_") or key == "table_sha":
+                del data[key]
+        data["format_version"] = np.asarray([1])
+        with open(v1, "wb") as fh:
+            np.savez_compressed(fh, **data)
+        paths[1] = v1
+
+        for version, path in sorted(paths.items()):
+            loaded, loaded_truth = load_reports(str(path))
+            _assert_scores_bitwise_equal(
+                compute_scores(loaded), expected, f"{fixture}/v{version}"
+            )
+            assert loaded.failed.tolist() == reports.failed.tolist()
+            assert loaded_truth is not None
+            assert loaded_truth.occurrences == truth.occurrences
+
+
+def _v3_store(directory, experiment, n_shards=3):
+    from repro.core.engine import partition_bounds
+    from repro.core.io import V3_MAGIC
+
+    reports, truth = experiment.reports, experiment.truth
+    store = ShardStore.create(
+        str(directory), "differential", reports.table, SamplingPlan.full()
+    )
+    for lo, hi in partition_bounds(reports.n_runs, n_shards):
+        mask = np.zeros(reports.n_runs, dtype=bool)
+        mask[lo:hi] = True
+        store.append_shard(reports.subset(mask), truth=truth.subset(mask), seed_start=lo)
+    for path in store.shard_paths():
+        with open(path, "rb") as fh:
+            assert fh.read(len(V3_MAGIC)) == V3_MAGIC  # the store really is v3
+    return ShardStore.open(store.directory)
+
+
+class TestV3StoreParallelDifferential:
+    """Zero-copy shard streaming is bit-identical, serial or parallel."""
+
+    @pytest.mark.parametrize("fixture", SUBJECT_FIXTURES)
+    def test_jobs_match_serial_over_v3_store(self, fixture, request, tmp_path):
+        experiment = request.getfixturevalue(fixture)
+        store = _v3_store(tmp_path / "store", experiment)
+        expected = compute_scores(experiment.reports)
+        serial = store.compute_scores(jobs=1)
+        _assert_scores_bitwise_equal(serial, expected, f"{fixture}/serial-v3")
+        for jobs in (2, 3):
+            parallel = ShardStore.open(store.directory).compute_scores(jobs=jobs)
+            _assert_scores_bitwise_equal(
+                parallel, serial, f"{fixture}/jobs={jobs}"
+            )
+
+    def test_v3_store_audit_recover_roundtrip(self, tmp_path, moss_experiment):
+        """The commit protocol's verification path covers v3 shards."""
+        store = _v3_store(tmp_path / "store", moss_experiment)
+        assert store.audit().clean
+        merged, _ = store.load_merged()
+        _assert_scores_bitwise_equal(
+            compute_scores(merged), compute_scores(moss_experiment.reports), "merged"
+        )
+
+
+class TestObservabilityDifferential:
+    """Metrics on vs off never changes an analysed bit."""
+
+    @pytest.mark.parametrize("fixture", SUBJECT_FIXTURES)
+    def test_obs_toggle_is_score_neutral(self, fixture, request, tmp_path):
+        from repro import obs
+
+        experiment = request.getfixturevalue(fixture)
+        store = _v3_store(tmp_path / "store", experiment)
+        baseline = store.compute_scores(jobs=1)
+        obs.configure()
+        try:
+            with_obs = ShardStore.open(store.directory).compute_scores(jobs=1)
+        finally:
+            obs.shutdown()
+        _assert_scores_bitwise_equal(with_obs, baseline, f"{fixture}/obs")

@@ -177,18 +177,27 @@ class TestFloatKinds:
         [
             (-2.5, {0}),
             (0.0, {1}),
+            (-0.0, {1}),
             (3.25, {2}),
             (float("nan"), {3}),
-            (float("inf"), {4, 2}),
-            (float("-inf"), {4, 0}),
-            (1e-310, {2, 5}),  # subnormal positive
+            (float("inf"), {4}),
+            (float("-inf"), {4}),
+            (1e-310, {5}),   # subnormal positive
+            (-1e-310, {5}),  # subnormal negative
         ],
     )
     def test_classification(self, value, offsets):
+        """Regression: the six families are mutually exclusive (paper §5
+        "kinds") -- ``±inf`` used to count in both the infinite family
+        and a sign family, and subnormals in both subnormal and sign,
+        while NaN was already exclusive.  Every value now lands in
+        exactly one family; see docs/ALGORITHM.md for the layout."""
         rt, site = self._rt()
         rt.float_kind(site.index, value)
-        _, pred_true = rt.end_run()
+        site_obs, pred_true = rt.end_run()
         assert set(pred_true) == offsets
+        assert site_obs[site.index] == 1
+        assert sum(pred_true.values()) == 1  # exclusive: one family per value
 
     def test_non_floats_leave_site_unobserved(self):
         rt, site = self._rt()
@@ -215,3 +224,42 @@ class TestCustomScheme:
         site_obs, pred_true = rt.end_run()
         assert site_obs[site.index] == 1
         assert set(pred_true) == {0, 2}
+
+    @pytest.mark.parametrize("sampler", ["fast", "legacy"])
+    def test_predicate_less_custom_site(self, sampler):
+        """Regression: ``Runtime.custom`` used to call
+        ``table.predicate_indices_at(site)[0]`` per observation, which
+        raised IndexError on a custom site registered with no predicates
+        (and paid a table lookup on the hot path); it now uses the cached
+        ``_base`` table like every other helper."""
+        table = PredicateTable()
+        site = table.add_custom_site("f", 1, "empty family", [])
+        rt = Runtime(table, sampler=sampler)
+        rt.begin_run(SamplingPlan.full(), seed=0)
+        rt.custom(site.index, [])  # must not raise
+        site_obs, pred_true = rt.end_run()
+        assert site_obs[site.index] == 1
+        assert pred_true == {}
+
+    def test_custom_uses_cached_base_not_table_lookup(self):
+        """The hot path must not consult the PredicateTable per call."""
+        table = PredicateTable()
+        site = table.add_custom_site("f", 1, "heap", ["ok", "bad"])
+        rt = Runtime(table)
+        rt.begin_run(SamplingPlan.full(), seed=0)
+
+        calls = []
+        original = table.predicate_indices_at
+
+        def spying(index):
+            calls.append(index)
+            return original(index)
+
+        table.predicate_indices_at = spying
+        try:
+            rt.custom(site.index, [False, True])
+        finally:
+            table.predicate_indices_at = original
+        assert calls == []
+        _, pred_true = rt.end_run()
+        assert set(pred_true) == {1}

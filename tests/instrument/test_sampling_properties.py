@@ -211,6 +211,93 @@ class TestSamplerStateRoundTrip:
             runtime.restore_sampler_state(snapshot)
 
 
+class TestExplicitModeRoundTrip:
+    """The runtime's explicit ``mode`` attribute round-trips through
+    ``sampler_state`` / ``restore_sampler_state`` -- the snapshot carries
+    it under both the legacy ``kind`` key and the new ``mode`` key, and
+    restoring reproduces the attribute (and the integer dispatch id
+    behind the fast path) exactly."""
+
+    def _begin(self, runtime, mode, rate, seed):
+        if mode == "full":
+            runtime.begin_run(SamplingPlan.full(), seed=seed)
+        elif mode == "uniform":
+            runtime.begin_run(SamplingPlan.uniform(rate), seed=seed)
+        else:
+            runtime.begin_run(SamplingPlan.per_site([rate, 1.0]), seed=seed)
+
+    @settings(max_examples=40, **_SETTINGS)
+    @given(
+        mode=st.sampled_from(["full", "uniform", "per-site"]),
+        rate=_rates,
+        seed=_seeds,
+        warmup=st.integers(min_value=0, max_value=80),
+        sampler=st.sampled_from(["fast", "legacy"]),
+    )
+    def test_mode_round_trips(self, mode, rate, seed, warmup, sampler):
+        runtime = Runtime(make_table(2), sampler=sampler)
+        self._begin(runtime, mode, rate, seed)
+        for _ in range(warmup):
+            runtime._take(0)
+        assert runtime.mode == mode
+        snapshot = runtime.sampler_state()
+        assert snapshot["mode"] == mode == snapshot["kind"]
+
+        other = Runtime(make_table(2), sampler=sampler)
+        # Start the receiver in a *different* mode: the snapshot wins.
+        self._begin(other, "uniform" if mode != "uniform" else "full", 0.5, seed + 7)
+        other.restore_sampler_state(snapshot)
+        assert other.mode == mode
+        assert other.sampler_state()["mode"] == mode
+
+    @settings(max_examples=25, **_SETTINGS)
+    @given(
+        rate=_rates,
+        seed=_seeds,
+        warmup=st.integers(min_value=0, max_value=120),
+        n=st.integers(min_value=1, max_value=200),
+    )
+    def test_pending_gap_batch_survives_round_trip(self, rate, seed, warmup, n):
+        """The fast path pre-draws a batch of countdown gaps; a snapshot
+        taken mid-batch must hand the unconsumed gaps (in consumption
+        order) to the restored instance, keeping the decision stream
+        bit-identical to the uninterrupted one."""
+        reference = Runtime(make_table(1))
+        reference.begin_run(SamplingPlan.uniform(rate), seed=seed)
+        whole = [reference._take(0) for _ in range(warmup + n)]
+
+        first = Runtime(make_table(1))
+        first.begin_run(SamplingPlan.uniform(rate), seed=seed)
+        head = [first._take(0) for _ in range(warmup)]
+        snapshot = first.sampler_state()
+        assert snapshot["pending"] == first.sampler_state()["pending"]
+
+        second = Runtime(make_table(1))
+        second.begin_run(SamplingPlan.uniform(0.9), seed=seed + 1)
+        second.restore_sampler_state(snapshot)
+        tail = [second._take(0) for _ in range(n)]
+        assert head + tail == whole
+
+    @settings(max_examples=15, **_SETTINGS)
+    @given(seed=_seeds, rate=_rates, warmup=st.integers(min_value=0, max_value=60))
+    def test_legacy_snapshot_without_mode_key_restores(self, seed, rate, warmup):
+        """Snapshots written before the explicit ``mode`` attribute carry
+        only ``kind``; they must keep restoring byte-for-byte."""
+        donor = Runtime(make_table(1))
+        donor.begin_run(SamplingPlan.uniform(rate), seed=seed)
+        for _ in range(warmup):
+            donor._take(0)
+        snapshot = donor.sampler_state()
+        del snapshot["mode"]
+        expected = [donor._take(0) for _ in range(100)]
+
+        receiver = Runtime(make_table(1))
+        receiver.begin_run(SamplingPlan.full(), seed=seed)
+        receiver.restore_sampler_state(snapshot)
+        assert receiver.mode == "uniform"
+        assert [receiver._take(0) for _ in range(100)] == expected
+
+
 class TestSufficientStatsPartitionAlgebra:
     """The parallel engine's algebra: sufficient statistics are additive
     over *any* run partition and sliceable over *any* predicate

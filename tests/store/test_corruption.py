@@ -59,7 +59,9 @@ def _build_store(tmp_path, k=3, n_runs=24, n_preds=4, seed=0):
 
 def _shard_stats(path):
     F, S, F_obs, S_obs, nf, ns, _ = load_shard_stats(path)
-    return SufficientStats(F, S, F_obs, S_obs, nf, ns)
+    # v3 stats come back as read-only file-mapping views; materialize so
+    # the accumulating .add() calls below may mutate in place.
+    return SufficientStats(F, S, F_obs, S_obs, nf, ns).materialized()
 
 
 def _assert_stats_equal(a, b):
@@ -366,6 +368,10 @@ class TestMixedVersionStores:
         """Rewrite one shard in the legacy v1 layout, keeping its entry's
         digest honest (the bytes legitimately changed)."""
         path = store.shard_paths()[index]
+        # The store writes v3 archives; rewrite through the v2 (.npz)
+        # layout first so the npz-surgery below has a zip to operate on.
+        reports, truth = load_reports(path)
+        save_reports(path, reports, truth, version=2)
         data = dict(np.load(path, allow_pickle=False))
         for key in list(data):
             if key.startswith("stats_") or key == "table_sha":
@@ -391,7 +397,7 @@ class TestMixedVersionStores:
         store, _ = _build_store(tmp_path, n_preds=4)
         path = store.shard_paths()[1]
         alien = make_reports(9, [(True, {0}, None)] * 8)
-        save_reports(path, alien)
+        save_reports(path, alien, version=2)
         data = dict(np.load(path, allow_pickle=False))
         for key in list(data):
             if key.startswith("stats_") or key == "table_sha":

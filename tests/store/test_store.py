@@ -284,7 +284,7 @@ class TestV1ShardFallback:
         """v1 archives lack embedded stats; they are derived by loading."""
         whole = _population(n_preds=4, n_runs=12)
         path = str(tmp_path / "v1.npz")
-        save_reports(path, whole)
+        save_reports(path, whole, version=2)
         # Downgrade the archive to the v1 layout: strip the v2-only keys.
         data = dict(np.load(path, allow_pickle=False))
         for key in list(data):
