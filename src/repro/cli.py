@@ -315,6 +315,42 @@ def build_parser() -> argparse.ArgumentParser:
         "net-refuse@batch[#attempt]",
     )
 
+    federate = sub.add_parser(
+        "federate",
+        help="replicate committed shards from N source stores or daemons "
+        "into one merged store, bit-identical to single-store collection",
+    )
+    federate.add_argument(
+        "sources", nargs="+", metavar="SRC",
+        help="source store directory or daemon URL (http://host:port)",
+    )
+    federate.add_argument(
+        "dest", metavar="DEST",
+        help="destination store directory (created if absent)",
+    )
+    federate.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="pull attempts per shard before it is skipped with an "
+        "audited reason",
+    )
+    federate.add_argument(
+        "--timeout", type=float, default=10.0,
+        help="per-request timeout for daemon sources, in seconds",
+    )
+    federate.add_argument(
+        "--no-audit", action="store_true",
+        help="skip the closing cross-store audit",
+    )
+    federate.add_argument(
+        "--testing", action="store_true",
+        help="enable testing-only options such as --inject-fault",
+    )
+    federate.add_argument(
+        "--inject-fault", action="append", default=[], metavar="SPEC",
+        help="inject a federation fault (testing only); SPEC is "
+        "fed-fetch-error@pull[#attempt] or fed-corrupt-fetch@pull[#attempt]",
+    )
+
     bench = sub.add_parser(
         "bench",
         help="run the standard benchmark scenarios and append the results "
@@ -400,6 +436,9 @@ def main(argv=None) -> int:
 
     if args.command == "submit":
         return _submit(args)
+
+    if args.command == "federate":
+        return _federate(args)
 
     subject = SUBJECTS[args.subject]()
     if args.runs is None:
@@ -619,6 +658,82 @@ def _submit(args) -> int:
                 f"{entry['F']:>6}  {entry['S']:>6}  {entry['name']}"
             )
     return 0
+
+
+def _federate(args) -> int:
+    """Merge N source stores/daemons into one destination store.
+
+    Exit codes: 0 for a clean merge (and, unless ``--no-audit``, a clean
+    cross-store audit); 1 when shards were skipped or the audit found
+    problems; 2 for structural refusals (incompatible stores, diverging
+    seed-range claims).
+    """
+    from repro.federate import (
+        FederationError,
+        cross_audit,
+        federate_stores,
+        open_source,
+    )
+    from repro.store import ShardStore
+    from repro.store.faults import FaultInjector
+    from repro.store.shards import MANIFEST_NAME
+
+    code, faults = _cli_faults(args)
+    if code:
+        return code
+
+    try:
+        sources = [open_source(spec, timeout=args.timeout) for spec in args.sources]
+        if os.path.exists(os.path.join(args.dest, MANIFEST_NAME)):
+            dest = ShardStore.open(args.dest)
+        else:
+            dest = ShardStore.create_like(args.dest, sources[0].manifest())
+        report = federate_stores(
+            sources,
+            dest,
+            faults=FaultInjector(faults or ()),
+            max_attempts=args.max_attempts,
+        )
+    except FederationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"federated {len(sources)} sources into {args.dest}: "
+        f"{len(report.pulled)} shards pulled ({report.runs_merged} runs, "
+        f"{report.bytes_pulled} bytes), {len(report.deduped)} deduped, "
+        f"{len(report.present)} already present, {len(report.skipped)} skipped"
+        + (f", {report.retries} retries" if report.retries else "")
+    )
+    for record in report.skipped:
+        print(
+            f"skipped {record.filename} ({record.reason}): {record.detail}",
+            file=sys.stderr,
+        )
+
+    clean = report.clean
+    if not args.no_audit:
+        audit = cross_audit(dest, sources)
+        for src_audit in audit.sources:
+            status = "fully replicated" if not (
+                src_audit.missing or src_audit.diverged
+            ) else (
+                f"{len(src_audit.missing)} missing, "
+                f"{len(src_audit.diverged)} diverged"
+            )
+            print(
+                f"audit {src_audit.label}: {len(src_audit.replicated)} "
+                f"replicated, {status}"
+            )
+        if not audit.clean:
+            clean = False
+            print("cross-store audit found problems", file=sys.stderr)
+
+    print(
+        f"store {args.dest} now holds {dest.n_shards} shards, "
+        f"{dest.n_runs} runs ({dest.num_failing} failing)"
+    )
+    return 0 if clean else 1
 
 
 def _collect(args) -> int:

@@ -139,6 +139,24 @@ def _stats_task(task) -> SufficientStats:
     return total
 
 
+def _multi_stats_task(task) -> SufficientStats:
+    """Worker: stream shards drawn from *several* stores into one sum.
+
+    ``task`` is a list of ``(directory, entry, table_sha)`` triples --
+    unlike :func:`_stats_task`, each shard carries its own store
+    directory, so one worker can span store boundaries.  Same loader,
+    same verification, same counters.
+    """
+    from repro.store.shards import load_entry_stats
+
+    total: Optional[SufficientStats] = None
+    for directory, entry, table_sha in task:
+        part = load_entry_stats(directory, entry, table_sha)
+        total = part.materialized() if total is None else total.add(part)
+    assert total is not None  # partitions are never empty
+    return total
+
+
 def _score_task(task):
     """Worker: score, p-value and prune one predicate partition.
 
@@ -240,6 +258,52 @@ class AnalysisEngine:
             with _obs_span("engine.stream_stats", shards=len(entries), jobs=self.jobs):
                 parts = self._map(_stats_task, tasks, label="engine.stats_worker")
         return SufficientStats.merge_tree(parts)
+
+    def multi_store_stats(self, stores) -> SufficientStats:
+        """Stream several stores' statistics as one population.
+
+        The federation analysis entry point: integer sufficient
+        statistics add exactly across stores, so summing N daemon-owned
+        stores is bit-identical to summing the one store a federated
+        merge of them would produce -- without materialising that merge.
+        All stores must share a predicate table (same ``table_sha``);
+        anything else would mis-attribute counters.
+        """
+        stores = list(stores)
+        if not stores:
+            raise ValueError("need at least one store")
+        table_sha = stores[0].manifest.table_sha
+        for store in stores[1:]:
+            if store.manifest.table_sha != table_sha:
+                raise ValueError(
+                    f"store {store.directory} has predicate table "
+                    f"{store.manifest.table_sha[:12]}..., expected "
+                    f"{table_sha[:12]}...; cannot sum statistics across tables"
+                )
+        shards = [
+            (store.directory, entry, table_sha)
+            for store in stores
+            for entry in store.manifest.shards
+        ]
+        if not shards:
+            raise ValueError("cannot score empty shard stores")
+        bounds = partition_bounds(len(shards), self.jobs)
+        tasks = [shards[lo:hi] for lo, hi in bounds]
+        with _obs_timer("store.stream_stats"):
+            with _obs_span(
+                "engine.stream_multi_stats",
+                stores=len(stores),
+                shards=len(shards),
+                jobs=self.jobs,
+            ):
+                parts = self._map(
+                    _multi_stats_task, tasks, label="engine.stats_worker"
+                )
+        return SufficientStats.merge_tree(parts)
+
+    def federated_scores(self, stores) -> EngineScoring:
+        """Score N stores as one population (see :meth:`multi_store_stats`)."""
+        return self.score_stats(self.multi_store_stats(stores))
 
     # ------------------------------------------------------------------
     # Stage 2: scores, p-values, pruning over predicate partitions

@@ -1,0 +1,53 @@
+"""Federated multi-daemon ingestion: merge N shard stores into one.
+
+Public API:
+
+* :func:`~repro.federate.merge.federate_stores` -- pull every committed
+  shard from a set of sources into a destination store, bit-identically;
+* :func:`~repro.federate.merge.plan_sync` -- the manifest diff behind it;
+* :func:`~repro.federate.merge.cross_audit` -- verify the merge end to
+  end (destination audit plus per-source replication check);
+* :func:`~repro.federate.sources.open_source` and the
+  :class:`~repro.federate.sources.StoreSource` transports (local
+  directory, live daemon over HTTP).
+
+See :mod:`repro.federate.merge` for the protocol and its determinism
+argument.
+"""
+
+from repro.federate.errors import FederationError, FederationFetchError
+from repro.federate.merge import (
+    FederationAudit,
+    FederationReport,
+    PullItem,
+    SourceAudit,
+    SyncPlan,
+    cross_audit,
+    federate_stores,
+    plan_sync,
+)
+from repro.federate.sources import (
+    MANIFEST_SCHEMA,
+    HTTPSource,
+    LocalSource,
+    StoreSource,
+    open_source,
+)
+
+__all__ = [
+    "FederationError",
+    "FederationFetchError",
+    "FederationAudit",
+    "FederationReport",
+    "PullItem",
+    "SourceAudit",
+    "SyncPlan",
+    "cross_audit",
+    "federate_stores",
+    "plan_sync",
+    "MANIFEST_SCHEMA",
+    "HTTPSource",
+    "LocalSource",
+    "StoreSource",
+    "open_source",
+]

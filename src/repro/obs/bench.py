@@ -241,6 +241,52 @@ def run_collection_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
                     subject="ccrypt",
                 )
             )
+
+    # Store-to-store federation (repro.federate): collect three
+    # daemon-style stores over disjoint seed thirds, then merge them.
+    # The wall covers the whole pull pipeline -- manifest diff, fetch,
+    # checksum + parse verification, and the crash-safe commits.
+    from repro.federate import LocalSource, federate_stores
+
+    n_fed = 30 if quick else _scaled(60, scale)
+    per_store = max(n_fed // 3, 5)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        sources = []
+        for i in range(3):
+            directory = os.path.join(tmp, f"fed-src-{i}")
+            run_trials_sharded(
+                subject,
+                per_store,
+                plan,
+                directory,
+                seed=i * per_store,
+                jobs=2,
+                chunk_size=max(per_store // 2, 5),
+            )
+            sources.append(LocalSource(directory))
+        dest = ShardStore.create_like(
+            os.path.join(tmp, "fed-merged"), sources[0].manifest()
+        )
+        start = time.perf_counter()
+        report = federate_stores(sources, dest)
+        wall = time.perf_counter() - start
+        scenarios.append(
+            _scenario(
+                "federate",
+                {
+                    "sources": 3,
+                    "runs": 3 * per_store,
+                    "shards": len(report.pulled),
+                },
+                {
+                    "wall_seconds": wall,
+                    "shards_per_sec": len(report.pulled) / max(wall, 1e-9),
+                    "runs_per_sec": report.runs_merged / max(wall, 1e-9),
+                    "mb_per_sec": report.bytes_pulled / 1e6 / max(wall, 1e-9),
+                },
+                subject="ccrypt",
+            )
+        )
     return scenarios
 
 

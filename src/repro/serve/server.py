@@ -364,6 +364,38 @@ class CollectionService:
             ]
             return document
 
+    def manifest_payload(self) -> dict:
+        """``GET /manifest`` document (``repro-federate/v1``).
+
+        The daemon's committed membership, exactly as a federation merge
+        node needs it for manifest-diff sync: pending batches and WAL
+        tail are *not* included -- federation replicates only what the
+        commit protocol has made durable.
+        """
+        from repro.federate.sources import MANIFEST_SCHEMA
+
+        with self.lock:
+            self.metrics.inc("serve.manifest_requests")
+            return {
+                "schema": MANIFEST_SCHEMA,
+                "manifest": self.store.manifest.to_json(),
+            }
+
+    def shard_file(self, filename: str):
+        """The on-disk path and entry of one *committed* shard.
+
+        Returns ``(path, entry)`` when ``filename`` is in the manifest,
+        else ``None``.  Lookup goes through the manifest rather than the
+        filesystem, so the endpoint can never serve pending files,
+        quarantined shards or anything outside the store (path
+        traversal resolves to no manifest entry).
+        """
+        with self.lock:
+            entry = self.store.manifest.find(filename)
+            if entry is None:
+                return None
+            return os.path.join(self.store.directory, filename), entry
+
     def health_payload(self) -> dict:
         """``GET /healthz`` document."""
         with self.lock:
@@ -471,7 +503,40 @@ class _IngestHandler(BaseHTTPRequestHandler):
                         return
             self._send_json(200, service.scores_payload(k=k))
             return
+        if path == "/manifest":
+            self._send_json(200, service.manifest_payload())
+            return
+        if path.startswith("/shards/"):
+            self._send_shard(service, path[len("/shards/"):])
+            return
         self._send_json(404, {"error": "not-found", "detail": path})
+
+    def _send_shard(self, service: CollectionService, filename: str) -> None:
+        """Stream one committed shard's bytes (``GET /shards/<name>``)."""
+        located = service.shard_file(filename)
+        if located is None:
+            self._send_json(
+                404, {"error": "not-found", "detail": f"no committed shard {filename}"}
+            )
+            return
+        path, entry = located
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as exc:
+            self._send_json(
+                410, {"error": "unreadable", "detail": f"{filename}: {exc}"}
+            )
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(data)))
+        if entry.sha256 is not None:
+            self.send_header("X-Repro-Sha256", entry.sha256)
+        self.end_headers()
+        self.wfile.write(data)
+        service.metrics.inc("serve.shards_served")
+        service.metrics.inc("serve.shard_bytes_served", len(data))
 
 
 class _ThreadingServer(ThreadingHTTPServer):

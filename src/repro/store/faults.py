@@ -30,6 +30,10 @@ kind                effect
                     after reading the request (transient server bug)
 ``net-slow``        the server stalls before responding (congestion /
                     overload; exercises client timeouts)
+``fed-fetch-error`` a federation pull fails in flight before any bytes
+                    arrive (source daemon briefly unreachable); retried
+``fed-corrupt-fetch`` the fetched shard bytes are damaged in transit;
+                    the checksum verify catches it and the pull retries
 ==================  =====================================================
 
 The ``net-*`` kinds target the networked collection path of
@@ -38,6 +42,10 @@ index on the client side (``net-refuse``) or the zero-based POST ordinal
 on the server side (the others), and "attempt" the retry number.  Like
 every other kind, each fires on exactly one (index, attempt) pair, so
 the uploader's retry loop always converges.
+
+The ``fed-*`` kinds target store-to-store replication
+(:mod:`repro.federate`): "chunk" is the zero-based ordinal of the shard
+in the federation's pull plan and "attempt" the pull retry number.
 
 A fault spec is ``kind@chunk`` with an optional ``#attempt`` suffix,
 e.g. ``kill-worker@1`` (kill the worker for chunk 1 on its first
@@ -72,6 +80,8 @@ FAULT_KINDS = (
     "net-disconnect",
     "net-500",
     "net-slow",
+    "fed-fetch-error",
+    "fed-corrupt-fetch",
 )
 
 #: Fault kinds applied inside the worker process.
@@ -86,6 +96,11 @@ PARENT_FAULTS = frozenset({"stale-manifest"})
 #: (:mod:`repro.serve`); ``net-refuse`` fires client-side, the rest fire
 #: inside the collection daemon's request handler.
 NETWORK_FAULTS = frozenset({"net-refuse", "net-disconnect", "net-500", "net-slow"})
+
+#: Fault kinds exercised on the store-to-store replication path
+#: (:mod:`repro.federate`); both fire inside the federating process's
+#: pull loop, keyed by the shard's ordinal in the sync plan.
+FEDERATION_FAULTS = frozenset({"fed-fetch-error", "fed-corrupt-fetch"})
 
 
 @dataclass(frozen=True)

@@ -89,6 +89,9 @@ class ShardEntry:
         sha256: Hex digest of the shard file's bytes at commit time, or
             ``None`` for entries written before digests were recorded.
             Verified by :meth:`repro.store.shards.ShardStore.audit`.
+        source: Provenance label for shards replicated from another
+            store (:mod:`repro.federate`): the source store's path or
+            daemon URL.  ``None`` for locally collected shards.
     """
 
     filename: str
@@ -96,6 +99,7 @@ class ShardEntry:
     num_failing: int
     seed_start: Optional[int] = None
     sha256: Optional[str] = None
+    source: Optional[str] = None
 
     @property
     def seed_range(self) -> Optional[range]:
@@ -113,8 +117,9 @@ class ShardEntry:
 
     def to_json(self) -> Dict[str, object]:
         spec = dataclasses.asdict(self)
-        if spec.get("sha256") is None:
-            del spec["sha256"]  # keep old-manifest byte-compat when absent
+        for optional in ("sha256", "source"):
+            if spec.get(optional) is None:
+                del spec[optional]  # keep old-manifest byte-compat when absent
         return spec
 
     @classmethod
@@ -128,6 +133,9 @@ class ShardEntry:
             ),
             sha256=(
                 str(spec["sha256"]) if spec.get("sha256") is not None else None
+            ),
+            source=(
+                str(spec["source"]) if spec.get("source") is not None else None
             ),
         )
 

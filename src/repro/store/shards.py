@@ -248,8 +248,21 @@ class ShardStore:
         table: PredicateTable,
         plan: SamplingPlan,
         config: Optional[InstrumentationConfig] = None,
+        format_version: Optional[int] = None,
     ) -> "ShardStore":
-        """Initialise an empty store (directory may exist but not a manifest)."""
+        """Initialise an empty store (directory may exist but not a manifest).
+
+        ``format_version`` pins the shard archive version the store will
+        write (it must be in :data:`repro.core.io.WRITABLE_VERSIONS`);
+        the default is the current writer.
+        """
+        if format_version is None:
+            format_version = FORMAT_VERSION
+        if format_version not in WRITABLE_VERSIONS:
+            raise ValueError(
+                f"cannot create a store writing archive version {format_version} "
+                f"(writable: {sorted(WRITABLE_VERSIONS)})"
+            )
         os.makedirs(directory, exist_ok=True)
         manifest_path = os.path.join(directory, MANIFEST_NAME)
         if os.path.exists(manifest_path):
@@ -261,10 +274,38 @@ class ShardStore:
             table_sha=table.signature(),
             config_sha=config_digest(config),
             plan=plan_to_json(plan),
-            format_version=FORMAT_VERSION,
+            format_version=format_version,
         )
         store = cls(directory, manifest)
         store._table = table
+        manifest.save(manifest_path)
+        return store
+
+    @classmethod
+    def create_like(cls, directory: str, like: ShardManifest) -> "ShardStore":
+        """Initialise an empty store copying another store's identity.
+
+        Used by cross-store replication (:mod:`repro.federate`), where
+        the destination must accept a source's shards byte-for-byte: the
+        subject, table signature, config digest, sampling plan and
+        archive format version are copied from ``like``; membership
+        starts empty.  No predicate table object is needed -- the first
+        replicated shard carries it.
+        """
+        os.makedirs(directory, exist_ok=True)
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        if os.path.exists(manifest_path):
+            raise FileExistsError(
+                f"{manifest_path} already exists; use ShardStore.open() to append"
+            )
+        manifest = ShardManifest(
+            subject=like.subject,
+            table_sha=like.table_sha,
+            config_sha=like.config_sha,
+            plan=dict(like.plan),
+            format_version=like.format_version,
+        )
+        store = cls(directory, manifest)
         manifest.save(manifest_path)
         return store
 
@@ -506,6 +547,48 @@ class ShardStore:
             _obs_inc("store.shards_committed")
             _obs_inc("store.runs_committed", entry.n_runs)
         return final
+
+    def ingest_shard_bytes(self, data: bytes, entry: ShardEntry) -> str:
+        """Commit a shard replicated from another store, byte-for-byte.
+
+        The cross-store commit primitive of :mod:`repro.federate`: the
+        raw archive bytes (exactly as committed at the source) go
+        through the same pending-file protocol as a local
+        :meth:`append_shard`, so a crash mid-replication is repaired by
+        :meth:`recover` and never leaves a half-copied shard under a
+        committed name.  ``entry`` must carry the digest of ``data``.
+
+        Raises:
+            ShardIntegrityError: ``data`` does not hash to
+                ``entry.sha256`` -- damaged in transit, refuse to commit.
+            ValueError: ``entry.sha256`` is unset (replication always
+                verifies end to end, so a digest is mandatory here).
+
+        Returns:
+            The committed shard's absolute path.
+        """
+        import hashlib
+
+        if entry.sha256 is None:
+            raise ValueError(
+                f"refusing to ingest {entry.filename} without a sha256 digest"
+            )
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != entry.sha256:
+            raise ShardIntegrityError(
+                entry.filename,
+                f"replicated bytes hash to {actual[:12]}..., entry says "
+                f"{entry.sha256[:12]}...",
+            )
+        final = os.path.join(self.directory, entry.filename)
+        if os.path.exists(final):
+            raise FileExistsError(f"shard {entry.filename} already exists in the store")
+        staged = final + PENDING_SUFFIX
+        with open(staged, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return self.commit_shard(entry)
 
     # ------------------------------------------------------------------
     # Recovery, quarantine, audit

@@ -49,6 +49,91 @@ def _obs_disabled():
     obs.shutdown()
 
 
+# ----------------------------------------------------------------------
+# Shared store builders (used by the store, integration and federate
+# suites -- one definition instead of one copy per test module).
+# ----------------------------------------------------------------------
+def build_synthetic_store(
+    directory,
+    k=3,
+    n_runs=24,
+    n_preds=4,
+    seed=0,
+    seed_start=0,
+    format_version=None,
+):
+    """A store of ``k`` seeded shards plus the monolithic population.
+
+    Shards carry contiguous seed ranges starting at ``seed_start``, so
+    federation suites can build seed-disjoint fleets by varying it.
+    """
+    from repro.instrument.sampling import SamplingPlan
+    from repro.store import ShardStore
+
+    from tests.helpers import make_population, split_reports
+
+    whole = make_population(n_preds=n_preds, n_runs=n_runs, seed=seed)
+    store = ShardStore.create(
+        str(directory),
+        "synthetic",
+        whole.table,
+        SamplingPlan.full(),
+        format_version=format_version,
+    )
+    offset = seed_start
+    for part in split_reports(whole, k):
+        store.append_shard(part, seed_start=offset)
+        offset += part.n_runs
+    return store, whole
+
+
+def collect_tiny_store(
+    directory,
+    n_runs=120,
+    chunk_size=30,
+    seed=0,
+    jobs=2,
+    rate=0.5,
+    faults=(),
+):
+    """Collect ``n_runs`` TinySubject trials into a sharded store.
+
+    Genuine (uniform) sampling by default, so retried chunks must
+    reproduce the sampler decision stream exactly.
+    """
+    from repro.harness.parallel import run_trials_sharded
+    from repro.instrument.sampling import SamplingPlan
+
+    from tests.harness.test_runner import TinySubject
+
+    plan = SamplingPlan.full() if rate is None else SamplingPlan.uniform(rate)
+    return run_trials_sharded(
+        TinySubject(),
+        n_runs,
+        plan,
+        str(directory),
+        seed=seed,
+        jobs=jobs,
+        chunk_size=chunk_size,
+        backoff_base=0.01,
+        faults=faults,
+    )
+
+
+@pytest.fixture
+def store_factory(tmp_path):
+    """Build named synthetic stores under this test's tmp directory.
+
+    ``factory(name, **kwargs)`` forwards to :func:`build_synthetic_store`
+    and returns ``(store, whole_population)``.
+    """
+
+    def factory(name="store", **kwargs):
+        return build_synthetic_store(tmp_path / name, **kwargs)
+
+    return factory
+
+
 def _small_experiment(subject, n_runs, training_runs=60, **kwargs):
     config = Experiment(
         subject=subject,

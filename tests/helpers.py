@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.core.predicates import PredicateTable
 from repro.core.reports import ReportBuilder, ReportSet
@@ -50,6 +53,33 @@ def make_reports(
             stack=stack,
         )
     return builder.build()
+
+
+def make_population(n_preds: int = 4, n_runs: int = 24, seed: int = 0) -> ReportSet:
+    """A deterministic synthetic population with mixed outcomes.
+
+    Failure rate ~40%; predicates fire more often in failing runs (60%
+    vs 20%) under ~80% observation, so scores are non-degenerate.
+    """
+    rng = random.Random(seed)
+    runs = []
+    for _ in range(n_runs):
+        failed = rng.random() < 0.4
+        true = {i for i in range(n_preds) if rng.random() < (0.6 if failed else 0.2)}
+        observed = {i for i in range(n_preds) if rng.random() < 0.8} | true
+        runs.append((failed, true, observed))
+    return make_reports(n_preds, runs)
+
+
+def split_reports(reports: ReportSet, k: int) -> List[ReportSet]:
+    """Partition a report set into k contiguous shards."""
+    bounds = np.linspace(0, reports.n_runs, k + 1).astype(int)
+    parts = []
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        mask = np.zeros(reports.n_runs, dtype=bool)
+        mask[lo:hi] = True
+        parts.append(reports.subset(mask))
+    return parts
 
 
 def run_pattern(

@@ -11,11 +11,9 @@ import pytest
 
 from repro.core.io import load_shard_stats
 from repro.core.importance import importance_scores
-from repro.harness.parallel import run_trials_sharded
-from repro.instrument.sampling import SamplingPlan
 from repro.store import Fault, StaleManifestError, SufficientStats
 
-from tests.harness.test_runner import TinySubject
+from tests.conftest import collect_tiny_store
 
 #: 120 trials in 4 chunks of 30, under genuine (uniform) sampling so the
 #: retried chunks must reproduce the sampler decision stream exactly.
@@ -24,15 +22,10 @@ _CHUNK = 30
 
 
 def _collect(tmp_path, name, faults=()):
-    return run_trials_sharded(
-        TinySubject(),
-        _N_RUNS,
-        SamplingPlan.uniform(0.5),
-        str(tmp_path / name),
-        seed=0,
-        jobs=2,
+    return collect_tiny_store(
+        tmp_path / name,
+        n_runs=_N_RUNS,
         chunk_size=_CHUNK,
-        backoff_base=0.01,
         faults=faults,
     )
 

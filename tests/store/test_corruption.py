@@ -22,7 +22,6 @@ from repro.core.io import (
     load_shard_stats,
     save_reports,
 )
-from repro.instrument.sampling import SamplingPlan
 from repro.store import (
     DuplicateSeedRangeError,
     Fault,
@@ -40,21 +39,16 @@ from repro.store.faults import damage_flip_bytes, damage_truncate, parse_fault
 from repro.store.manifest import ShardEntry
 from repro.store.shards import PENDING_SUFFIX, shard_filename
 
+from tests.conftest import build_synthetic_store
+from tests.helpers import make_population as _population
 from tests.helpers import make_reports
-from tests.store.test_store import _population, _split
 
 
 def _build_store(tmp_path, k=3, n_runs=24, n_preds=4, seed=0):
     """A store of ``k`` seeded shards plus the monolithic population."""
-    whole = _population(n_preds=n_preds, n_runs=n_runs, seed=seed)
-    store = ShardStore.create(
-        str(tmp_path / "store"), "synthetic", whole.table, SamplingPlan.full()
+    return build_synthetic_store(
+        tmp_path / "store", k=k, n_runs=n_runs, n_preds=n_preds, seed=seed
     )
-    offset = 0
-    for part in _split(whole, k):
-        store.append_shard(part, seed_start=offset)
-        offset += part.n_runs
-    return store, whole
 
 
 def _shard_stats(path):

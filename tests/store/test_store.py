@@ -15,32 +15,12 @@ from repro.store import ShardStore, SufficientStats, plan_from_json, plan_to_jso
 from repro.store.manifest import ShardEntry, ShardManifest, config_digest
 from repro.instrument.transform import InstrumentationConfig
 
-from tests.helpers import make_reports, make_table
+from tests.helpers import make_population, make_reports, make_table, split_reports
 
-
-def _population(n_preds=4, n_runs=24, seed=0):
-    """A deterministic synthetic population with mixed outcomes."""
-    import random
-
-    rng = random.Random(seed)
-    runs = []
-    for _ in range(n_runs):
-        failed = rng.random() < 0.4
-        true = {i for i in range(n_preds) if rng.random() < (0.6 if failed else 0.2)}
-        observed = {i for i in range(n_preds) if rng.random() < 0.8} | true
-        runs.append((failed, true, observed))
-    return make_reports(n_preds, runs)
-
-
-def _split(reports, k):
-    """Partition a report set into k contiguous shards."""
-    bounds = np.linspace(0, reports.n_runs, k + 1).astype(int)
-    parts = []
-    for lo, hi in zip(bounds[:-1], bounds[1:]):
-        mask = np.zeros(reports.n_runs, dtype=bool)
-        mask[lo:hi] = True
-        parts.append(reports.subset(mask))
-    return parts
+# Local names kept for the module's many call sites; the builders
+# themselves live in tests.helpers so every suite shares one copy.
+_population = make_population
+_split = split_reports
 
 
 def _assert_counters_equal(a, b):
