@@ -24,6 +24,7 @@ import os
 import sys
 from typing import Dict, Type
 
+from repro.core import measures
 from repro.core.elimination import DiscardStrategy
 from repro.core.truth import cooccurrence_table
 from repro.harness.experiment import Experiment, run_experiment
@@ -208,6 +209,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (default 1, unified across subcommands; "
         "output is bit-identical for every value)",
     )
+    analyze.add_argument(
+        "--measure", choices=list(measures.available()),
+        default=measures.DEFAULT_MEASURE,
+        help="suspiciousness measure ranking the --stats-only output "
+        "(default: the paper's Importance; see docs/MEASURES.md). "
+        "Elimination always follows the paper's Importance.",
+    )
 
     serve = sub.add_parser(
         "serve",
@@ -372,6 +380,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=1.0,
         help="multiply every scenario's trial count by this factor",
     )
+
+    bakeoff = sub.add_parser(
+        "bakeoff",
+        help="grade every registered suspiciousness measure against the "
+        "subjects' ground-truth bug sites",
+    )
+    bakeoff.add_argument(
+        "--subject", action="append", default=None, choices=sorted(SUBJECTS),
+        metavar="NAME", dest="subjects",
+        help="subject to grade (repeatable; default: all subjects)",
+    )
+    bakeoff.add_argument(
+        "--measure", action="append", default=None,
+        choices=list(measures.available()), metavar="NAME", dest="measures",
+        help="measure to grade (repeatable; default: every registered measure)",
+    )
+    bakeoff.add_argument(
+        "--runs", type=int, default=None,
+        help="deterministic full-observation trials per subject "
+        "(default: 400)",
+    )
+    bakeoff.add_argument("--seed", type=int, default=0, help="base trial seed")
+    bakeoff.add_argument(
+        "--jobs", type=int, default=1,
+        help="scoring worker processes (matrix is identical for every value)",
+    )
+    bakeoff.add_argument(
+        "--json", action="store_true",
+        help="emit the repro-bakeoff/v1 document on stdout instead of a table",
+    )
+    bakeoff.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the JSON document to PATH",
+    )
+    bakeoff.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="compare the Importance row against a committed baseline "
+        "document; exit 1 if rank-of-first-faulty-site regressed",
+    )
     return parser
 
 
@@ -411,6 +458,9 @@ def main(argv=None) -> int:
         print(f"wrote {collection_path}")
         print(f"wrote {analysis_path}")
         return 0
+
+    if args.command == "bakeoff":
+        return _bakeoff(args)
 
     if args.command == "analyze":
         from repro import obs
@@ -812,6 +862,46 @@ def _collect(args) -> int:
     return 0
 
 
+def _bakeoff(args) -> int:
+    """Run the measure bake-off matrix and report / gate the results."""
+    import json
+
+    from repro.harness.bakeoff import DEFAULT_RUNS, compare_to_baseline, run_bakeoff
+    from repro.harness.tables import format_bakeoff_table
+
+    runs = args.runs if args.runs is not None else DEFAULT_RUNS
+    document = run_bakeoff(
+        SUBJECTS,
+        subject_names=args.subjects,
+        measure_names=args.measures,
+        runs=runs,
+        seed=args.seed,
+        jobs=args.jobs,
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(format_bakeoff_table(document))
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        regressions = compare_to_baseline(document, baseline)
+        for reg in regressions:
+            print(f"baseline: {reg}", file=sys.stderr)
+        if regressions:
+            return 1
+        print(
+            f"baseline: importance row matches or improves on {args.baseline}",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _analyze_store(args) -> int:
     """Analyse a shard store: streaming pruning, then (optionally) elimination."""
     from repro.core.engine import AnalysisEngine
@@ -867,6 +957,7 @@ def _analyze_store(args) -> int:
         strategy=DiscardStrategy(args.strategy),
         max_predictors=args.top,
         stats_only=args.stats_only,
+        measure=getattr(args, "measure", measures.DEFAULT_MEASURE),
     )
     scores = analysis.scores
     pruning = analysis.pruning
@@ -876,19 +967,24 @@ def _analyze_store(args) -> int:
     )
 
     if args.stats_only:
-        from repro.core.importance import importance_scores
-
+        # Rank the pruning survivors under the selected registry measure.
+        # Python's sort is stable, so equal values keep ascending
+        # predicate-index order -- for the default measure this is the
+        # exact historical Importance ordering (the registry entry
+        # delegates to importance_scores).
         table = store.table()
-        imp = importance_scores(scores)
+        values = analysis.measure_values
         order = sorted(
             pruning.kept_indices.tolist(),
-            key=lambda i: imp.importance[i],
+            key=lambda i: values[i],
             reverse=True,
         )[: args.top]
-        print(f"{'Importance':>10}  {'Increase':>8}  {'F':>6}  {'S':>6}  predicate")
+        label = analysis.measure.capitalize()
+        width = max(10, len(label))
+        print(f"{label:>{width}}  {'Increase':>8}  {'F':>6}  {'S':>6}  predicate")
         for i in order:
             print(
-                f"{imp.importance[i]:>10.3f}  {scores.increase[i]:>8.3f}  "
+                f"{values[i]:>{width}.3f}  {scores.increase[i]:>8.3f}  "
                 f"{int(scores.F[i]):>6}  {int(scores.S[i]):>6}  "
                 f"{table.predicates[i].name}"
             )
@@ -925,6 +1021,7 @@ def _analyze(args) -> int:
         method=args.method,
         strategy=DiscardStrategy(args.strategy),
         max_predictors=args.top,
+        measure=getattr(args, "measure", measures.DEFAULT_MEASURE),
     )
     pruning = analysis.pruning
     elimination = analysis.elimination

@@ -45,6 +45,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.elimination import DiscardStrategy, EliminationResult, eliminate
+from repro.core.measures import DEFAULT_MEASURE, get as get_measure
 from repro.core.pruning import PruningResult, prune_mask
 from repro.core.reports import ReportSet
 from repro.core.scores import (
@@ -158,13 +159,25 @@ def _multi_stats_task(task) -> SufficientStats:
 
 
 def _score_task(task):
-    """Worker: score, p-value and prune one predicate partition.
+    """Worker: score, p-value, prune and measure one predicate partition.
 
-    Every step is elementwise over predicates (see the module
-    docstring), so the partition results concatenate bit-identically to
-    a whole-table pass.
+    Every step -- including the registered suspiciousness measure -- is
+    elementwise over predicates (see the module docstring and the
+    registry contract in :mod:`repro.core.measures.registry`), so the
+    partition results concatenate bit-identically to a whole-table pass.
     """
-    F, S, F_obs, S_obs, num_failing, num_successful, confidence, method, min_true_runs = task
+    (
+        F,
+        S,
+        F_obs,
+        S_obs,
+        num_failing,
+        num_successful,
+        confidence,
+        method,
+        min_true_runs,
+        measure,
+    ) = task
     scores = scores_from_counts(
         F, S, F_obs, S_obs, num_failing, num_successful, confidence=confidence
     )
@@ -172,16 +185,25 @@ def _score_task(task):
     kept = prune_mask(
         scores, confidence=confidence, min_true_runs=min_true_runs, method=method
     )
-    return scores, pvalues, kept
+    values = get_measure(measure).values(scores)
+    return scores, pvalues, kept, values
 
 
 @dataclass
 class EngineScoring:
-    """Scoring-stage output: full-table scores, p-values and pruning."""
+    """Scoring-stage output: full-table scores, p-values and pruning.
+
+    ``measure`` names the suspiciousness measure this pass scored under
+    (``"importance"`` unless a consumer asked otherwise) and
+    ``measure_values`` holds its per-predicate values, computed inside
+    the same partitioned workers as the scores themselves.
+    """
 
     scores: PredicateScores
     pvalues: np.ndarray
     pruning: PruningResult
+    measure: str = DEFAULT_MEASURE
+    measure_values: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -198,6 +220,8 @@ class EngineAnalysis:
         reports: The materialised population (elimination needs run-level
             data), or ``None`` for stats-only runs.
         truth: Ground truth when every shard carried it.
+        measure: Name of the suspiciousness measure scored under.
+        measure_values: Per-predicate values of that measure.
     """
 
     jobs: int
@@ -208,6 +232,8 @@ class EngineAnalysis:
     elimination: Optional[EliminationResult] = None
     reports: Optional[ReportSet] = None
     truth: Optional[GroundTruth] = None
+    measure: str = DEFAULT_MEASURE
+    measure_values: Optional[np.ndarray] = None
 
 
 class AnalysisEngine:
@@ -301,9 +327,15 @@ class AnalysisEngine:
                 )
         return SufficientStats.merge_tree(parts)
 
-    def federated_scores(self, stores) -> EngineScoring:
-        """Score N stores as one population (see :meth:`multi_store_stats`)."""
-        return self.score_stats(self.multi_store_stats(stores))
+    def federated_scores(self, stores, measure: str = DEFAULT_MEASURE) -> EngineScoring:
+        """Score N stores as one population (see :meth:`multi_store_stats`).
+
+        ``measure`` selects any registered suspiciousness measure; the
+        federated values are bit-identical to scoring the equivalent
+        single store because measures are elementwise over the summed
+        sufficient statistics.
+        """
+        return self.score_stats(self.multi_store_stats(stores), measure=measure)
 
     # ------------------------------------------------------------------
     # Stage 2: scores, p-values, pruning over predicate partitions
@@ -313,8 +345,19 @@ class AnalysisEngine:
         stats: SufficientStats,
         method: str = "interval",
         min_true_runs: int = 1,
+        measure: str = DEFAULT_MEASURE,
     ) -> EngineScoring:
-        """Score and prune the population over predicate partitions."""
+        """Score and prune the population over predicate partitions.
+
+        ``measure`` names a registered suspiciousness measure
+        (:mod:`repro.core.measures`); its per-predicate values are
+        computed inside the partition workers and concatenated, which is
+        bit-identical to a whole-table pass because registered measures
+        are elementwise (unknown names raise
+        :class:`~repro.core.measures.UnknownMeasureError` before any
+        worker forks).
+        """
+        get_measure(measure)  # validate the name up front
         bounds = partition_bounds(stats.n_predicates, self.jobs)
         tasks = [
             (
@@ -327,6 +370,7 @@ class AnalysisEngine:
                 self.confidence,
                 method,
                 min_true_runs,
+                measure,
             )
             for lo, hi in bounds
         ]
@@ -337,11 +381,18 @@ class AnalysisEngine:
         scores = concat_scores([p[0] for p in parts])
         pvalues = np.concatenate([p[1] for p in parts])
         kept = np.concatenate([p[2] for p in parts])
+        values = np.concatenate([p[3] for p in parts])
         pruning = PruningResult(kept=kept, scores=scores)
         if _obs_enabled():
             _obs_gauge("analysis.pruning_initial", float(pruning.n_initial))
             _obs_gauge("analysis.pruning_kept", float(pruning.n_kept))
-        return EngineScoring(scores=scores, pvalues=pvalues, pruning=pruning)
+        return EngineScoring(
+            scores=scores,
+            pvalues=pvalues,
+            pruning=pruning,
+            measure=measure,
+            measure_values=values,
+        )
 
     def scores_from_stats(self, stats: SufficientStats) -> PredicateScores:
         """Full-table scores via the partitioned path (no pruning kept)."""
@@ -359,6 +410,7 @@ class AnalysisEngine:
         min_importance: float = 0.0,
         stats_only: bool = False,
         min_true_runs: int = 1,
+        measure: str = DEFAULT_MEASURE,
     ) -> EngineAnalysis:
         """Analyse a shard store: stream, score, prune, (then eliminate).
 
@@ -367,10 +419,17 @@ class AnalysisEngine:
         the mask-based elimination loop runs in the parent -- its rounds
         are inherently sequential, and each costs only a few sparse
         matvecs over the persistent bitsets.
+
+        ``measure`` selects the suspiciousness measure carried on the
+        result (and used by consumers to rank statistics); the iterative
+        elimination loop itself always follows the paper's Importance,
+        per Section 3.3.
         """
         with _obs_span("engine.analyze", jobs=self.jobs, store=store.directory):
             stats = self.store_stats(store)
-            scoring = self.score_stats(stats, method=method, min_true_runs=min_true_runs)
+            scoring = self.score_stats(
+                stats, method=method, min_true_runs=min_true_runs, measure=measure
+            )
             if stats_only:
                 return EngineAnalysis(
                     jobs=self.jobs,
@@ -378,6 +437,8 @@ class AnalysisEngine:
                     scores=scoring.scores,
                     pvalues=scoring.pvalues,
                     pruning=scoring.pruning,
+                    measure=scoring.measure,
+                    measure_values=scoring.measure_values,
                 )
             reports, truth = store.load_merged()
             elimination = eliminate(
@@ -397,6 +458,8 @@ class AnalysisEngine:
                 elimination=elimination,
                 reports=reports,
                 truth=truth,
+                measure=scoring.measure,
+                measure_values=scoring.measure_values,
             )
 
     def analyze_reports(
@@ -409,17 +472,21 @@ class AnalysisEngine:
         min_importance: float = 0.0,
         stats_only: bool = False,
         min_true_runs: int = 1,
+        measure: str = DEFAULT_MEASURE,
     ) -> EngineAnalysis:
         """Analyse an in-memory population (a ``run --save`` archive).
 
         The counting pass stays in the parent -- shipping sparse run
         matrices to workers would cost more than the two matvecs they
         pay for -- and scoring/pruning run over predicate partitions
-        exactly as in :meth:`analyze_store`.
+        exactly as in :meth:`analyze_store` (including the selected
+        suspiciousness ``measure``).
         """
         with _obs_span("engine.analyze", jobs=self.jobs, runs=reports.n_runs):
             stats = SufficientStats.from_reports(reports)
-            scoring = self.score_stats(stats, method=method, min_true_runs=min_true_runs)
+            scoring = self.score_stats(
+                stats, method=method, min_true_runs=min_true_runs, measure=measure
+            )
             elimination = None
             if not stats_only:
                 elimination = eliminate(
@@ -439,4 +506,6 @@ class AnalysisEngine:
                 elimination=elimination,
                 reports=reports,
                 truth=truth,
+                measure=scoring.measure,
+                measure_values=scoring.measure_values,
             )

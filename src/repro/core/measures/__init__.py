@@ -1,0 +1,39 @@
+"""Pluggable suspiciousness measures over CBI sufficient statistics.
+
+Importing this package loads the full catalogue (each module registers
+its measures at import time) and re-exports the registry API:
+
+* :data:`DEFAULT_MEASURE` -- ``"importance"``, the paper's Section 3.3
+  ranking; every consumer uses it unless given ``--measure``/``measure=``.
+* :func:`get` / :func:`available` / :func:`measure_values` -- lookup.
+* :func:`register` -- add a new measure (see ``docs/MEASURES.md``).
+
+Catalogue: ``importance``, ``increase`` (paper), ``tarantula``,
+``ochiai``, ``jaccard``, ``dstar2``, ``f1`` (coverage-based SBFL),
+``causal-hybrid`` (Kucuk & Henderson adaptation).
+"""
+
+from repro.core.measures.registry import (
+    DEFAULT_MEASURE,
+    Measure,
+    UnknownMeasureError,
+    available,
+    get,
+    measure_values,
+    register,
+)
+
+# Catalogue modules register themselves on import.
+from repro.core.measures import paper as _paper  # noqa: E402,F401
+from repro.core.measures import coverage as _coverage  # noqa: E402,F401
+from repro.core.measures import causal as _causal  # noqa: E402,F401
+
+__all__ = [
+    "DEFAULT_MEASURE",
+    "Measure",
+    "UnknownMeasureError",
+    "available",
+    "get",
+    "measure_values",
+    "register",
+]

@@ -1,0 +1,47 @@
+"""Causal value + predicate-score hybrid (after Kucuk & Henderson).
+
+Kucuk & Henderson's causal fault localisation (PAPERS.md) estimates, for
+each predicate, the *causal effect* of the predicate being true on the
+failure outcome, then combines that effect with a conventional predicate
+suspiciousness score -- the hybrid outperforms either signal alone.
+
+Adapted to our sufficient statistics:
+
+* The **predicate-view effect** is ``pf(P) - ps(P)``: the difference in
+  truth probability between failing and successful runs, conditioned on
+  the site being observed.  (Section 3.2 proves this has the same sign as
+  ``Increase``; its magnitude weights differently, emphasising how much
+  more often the predicate fires in failing runs.)
+* The **outcome-view score** is the paper's ``Increase(P)``: how much more
+  likely failure becomes given the predicate is true.
+
+The hybrid averages the two views, clamping each at zero so a predicate
+must look suspicious from *both* directions to score highly.  The true
+counterfactual estimator needs per-run covariate matching, which the
+additive counts cannot carry -- this is the sufficient-statistics
+projection of the idea, and it stays elementwise (partition-safe) like
+every other registry entry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.measures.registry import register
+from repro.core.scores import PredicateScores
+
+
+@register(
+    "causal-hybrid",
+    version=1,
+    formula="(max(pf-ps,0) + max(Increase,0)) / 2",
+)
+def _causal_hybrid(scores: PredicateScores) -> np.ndarray:
+    """Mean of the clamped predicate-view and outcome-view effects."""
+    effect = np.where(
+        scores.defined,
+        np.maximum(np.asarray(scores.pf, dtype=np.float64) - scores.ps, 0.0),
+        0.0,
+    )
+    outcome = np.maximum(np.asarray(scores.increase, dtype=np.float64), 0.0)
+    return 0.5 * (effect + outcome)

@@ -1,0 +1,109 @@
+"""Classic coverage-based fault-localisation measures on CBI counts.
+
+The spectrum-based fault-localisation literature (Tarantula, Ochiai,
+Jaccard, D*, F1 -- see the ceti2 exemplar in SNIPPETS.md and the Doric
+derivations in PAPERS.md) scores program elements from four counts per
+element: executed-by-failing, executed-by-passing, and the complements
+against the population totals.  Our predicates carry the same shape:
+
+* ``ef = F(P)``          -- failing runs where ``P`` was observed true;
+* ``ep = S(P)``          -- successful runs where ``P`` was observed true;
+* ``nf = NumF - F(P)``   -- failing runs where it was not;
+* ``np = NumS - S(P)``   -- successful runs where it was not.
+
+The adaptation note: in coverage-based SBFL "executed" is a property of a
+statement; here "observed true" is a property of a *predicate*, and under
+sampling the complements include runs that simply never sampled the site.
+The measures remain well defined -- they just grade predicate truth
+instead of statement coverage.  All formulas are elementwise in these
+counts plus the totals, so each measure is partition-safe (see
+:mod:`repro.core.measures.registry`), and every undefined quantity scores
+``0.0`` rather than NaN.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.measures.registry import register
+from repro.core.scores import PredicateScores
+
+
+def _counts(scores: PredicateScores):
+    """Return ``(ef, ep, nf, num_f, num_s)`` as float64 arrays/scalars."""
+    ef = np.asarray(scores.F, dtype=np.float64)
+    ep = np.asarray(scores.S, dtype=np.float64)
+    num_f = float(scores.num_failing)
+    num_s = float(scores.num_successful)
+    nf = num_f - ef
+    return ef, ep, nf, num_f, num_s
+
+
+@register(
+    "tarantula",
+    version=1,
+    formula="(F/NumF) / (F/NumF + S/NumS)",
+)
+def _tarantula(scores: PredicateScores) -> np.ndarray:
+    """Hue score of Jones et al.: failing rate over total truth rate."""
+    ef, ep, _nf, num_f, num_s = _counts(scores)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        fail_rate = ef / num_f if num_f > 0 else np.zeros_like(ef)
+        pass_rate = ep / num_s if num_s > 0 else np.zeros_like(ep)
+        denom = fail_rate + pass_rate
+        return np.where(denom > 0, fail_rate / np.maximum(denom, 1e-300), 0.0)
+
+
+@register(
+    "ochiai",
+    version=1,
+    formula="F / sqrt(NumF * (F+S))",
+)
+def _ochiai(scores: PredicateScores) -> np.ndarray:
+    """Cosine-style similarity between the predicate and the failure set."""
+    ef, ep, _nf, num_f, _num_s = _counts(scores)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        denom = np.sqrt(num_f * (ef + ep))
+        return np.where(denom > 0, ef / np.maximum(denom, 1e-300), 0.0)
+
+
+@register(
+    "jaccard",
+    version=1,
+    formula="F / (NumF + S)",
+)
+def _jaccard(scores: PredicateScores) -> np.ndarray:
+    """Set overlap between truth-in-failing and (failing union truth)."""
+    ef, ep, _nf, num_f, _num_s = _counts(scores)
+    denom = num_f + ep
+    return np.where(denom > 0, ef / np.maximum(denom, 1e-300), 0.0)
+
+
+@register(
+    "dstar2",
+    version=1,
+    formula="F^2 / (S + (NumF - F))",
+)
+def _dstar2(scores: PredicateScores) -> np.ndarray:
+    """Wong et al.'s D* with star=2.
+
+    A perfect predictor (true in every failing run, never in a successful
+    one) has a zero denominator; the registry forbids inf, so the
+    denominator is clamped to 1 there and the predictor scores ``F^2`` --
+    the supremum of its own family, still elementwise and deterministic.
+    """
+    ef, ep, nf, _num_f, _num_s = _counts(scores)
+    denom = ep + nf
+    return np.where(ef > 0, (ef * ef) / np.maximum(denom, 1.0), 0.0)
+
+
+@register(
+    "f1",
+    version=1,
+    formula="2F / (2F + (NumF - F) + S)",
+)
+def _f1(scores: PredicateScores) -> np.ndarray:
+    """Harmonic mean of precision ``F/(F+S)`` and recall ``F/NumF``."""
+    ef, ep, nf, _num_f, _num_s = _counts(scores)
+    denom = 2.0 * ef + nf + ep
+    return np.where(denom > 0, 2.0 * ef / np.maximum(denom, 1e-300), 0.0)

@@ -1,0 +1,35 @@
+"""The paper's own measures: ``Importance`` (the default) and ``Increase``.
+
+Both delegate to the existing scoring modules rather than re-deriving the
+formulas, so the registry entry is bit-identical to the historical
+hardcoded pipeline: ``measure_values(scores, "importance")`` returns the
+very same array as ``importance_scores(scores).importance``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.importance import importance_scores
+from repro.core.measures.registry import register
+from repro.core.scores import PredicateScores
+
+
+@register(
+    "importance",
+    version=1,
+    formula="2 / (1/Increase + log(NumF)/log(F))",
+)
+def _importance(scores: PredicateScores) -> np.ndarray:
+    """Section 3.3 harmonic mean of Increase and log-sensitivity."""
+    return importance_scores(scores).importance
+
+
+@register(
+    "increase",
+    version=1,
+    formula="F/(F+S) - F_obs/(F_obs+S_obs)",
+)
+def _increase(scores: PredicateScores) -> np.ndarray:
+    """Section 3.1 ``Increase(P)``, the pruning filter's raw score."""
+    return np.asarray(scores.increase, dtype=np.float64)

@@ -22,6 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.importance import ImportanceScores, importance_scores
+from repro.core.measures import DEFAULT_MEASURE, Measure, get as get_measure
 from repro.core.predicates import Predicate
 from repro.core.reports import ReportSet
 from repro.core.scores import DEFAULT_CONFIDENCE, PredicateScores, ScoreRow, compute_scores
@@ -150,3 +151,83 @@ def rank_from_scores(
         if top is not None and len(entries) >= top:
             break
     return RankingResult(strategy=strategy, entries=entries, scores=scores, importance=imp)
+
+
+@dataclass
+class MeasureRanking:
+    """A full-table ranking under one registered suspiciousness measure.
+
+    Unlike the Table 1 strategies, the default candidate set is *every*
+    predicate: the bake-off harness grades measures on how early they
+    surface a faulty site in the complete list, and gating candidates on
+    ``Increase > 0`` would bias the comparison toward the paper's own
+    measures.  Pass ``candidates`` to restrict (the CLI passes the
+    pruning survivors).
+    """
+
+    measure: Measure
+    entries: List[RankedPredicate]
+    scores: PredicateScores
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def rank_by_measure(
+    table,
+    scores: PredicateScores,
+    measure: str = DEFAULT_MEASURE,
+    candidates: Optional[np.ndarray] = None,
+    top: Optional[int] = None,
+    values: Optional[np.ndarray] = None,
+) -> MeasureRanking:
+    """Rank predicates by any registered suspiciousness measure.
+
+    Same deterministic order as :func:`rank_from_scores`: stable
+    descending argsort on the measure values, ties resolving in
+    predicate-index order.  For ``measure="importance"`` with the
+    paper's candidate mask this reproduces the historical
+    ``BY_IMPORTANCE`` ranking bit-identically, because the registry
+    entry delegates to :func:`repro.core.importance.importance_scores`.
+
+    Args:
+        table: The :class:`~repro.core.predicates.PredicateTable`.
+        scores: Scores for every predicate in ``table``.
+        measure: Registered measure name (:mod:`repro.core.measures`).
+        candidates: Optional boolean mask restricting the ranking;
+            default ranks the whole table.
+        top: Optional truncation of the returned list.
+        values: Optional precomputed values of ``measure`` over
+            ``scores`` (e.g. ``EngineScoring.measure_values``); computed
+            here when omitted.
+    """
+    m = get_measure(measure)
+    if values is None:
+        values = m.values(scores)
+    else:
+        values = np.asarray(values, dtype=np.float64)
+    imp = importance_scores(scores)
+    if candidates is None:
+        candidates = np.ones(scores.n_predicates, dtype=bool)
+    else:
+        candidates = np.asarray(candidates, dtype=bool)
+
+    masked = np.where(candidates, values, -np.inf)
+    order = np.argsort(-masked, kind="stable")
+    entries: List[RankedPredicate] = []
+    for rank, idx in enumerate(order, start=1):
+        if not candidates[idx]:
+            break
+        entries.append(
+            RankedPredicate(
+                rank=rank,
+                predicate=table.predicates[int(idx)],
+                row=scores.row(int(idx)),
+                importance=float(imp.importance[idx]),
+                sort_key=float(values[idx]),
+            )
+        )
+        if top is not None and len(entries) >= top:
+            break
+    return MeasureRanking(measure=m, entries=entries, scores=scores, values=values)

@@ -11,6 +11,7 @@ only so experiments can grade the algorithm's output.
 
 from __future__ import annotations
 
+import ast
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -180,6 +181,97 @@ def classify_predictor(
     if strong == 1:
         return "bug"
     return "sub-bug"
+
+
+@dataclass(frozen=True)
+class BugSite:
+    """A ground-truth bug location in a subject's source.
+
+    The subjects mark every injected fault by calling
+    ``record_bug("<bug-id>")`` at the faulty line -- a side channel the
+    instrumentation never sees.  A :class:`BugSite` is the static view of
+    one such call: the bug id, the enclosing function, and the 1-based
+    source line.  The bake-off harness grades suspiciousness measures by
+    how early they rank a predicate belonging to a faulty function.
+
+    Attributes:
+        bug_id: The literal id passed to ``record_bug``.
+        function: Name of the innermost enclosing function (``"<module>"``
+            for module-level calls).
+        line: 1-based line number of the call in the subject source.
+    """
+
+    bug_id: str
+    function: str
+    line: int
+
+
+def bug_sites_from_source(source: str) -> List[BugSite]:
+    """Statically extract every ``record_bug("<id>")`` call site.
+
+    Walks the subject's AST tracking the enclosing function, so the
+    returned line numbers and function names align with the
+    :class:`~repro.core.predicates.Site` records the instrumentation
+    derives from the *same* source text.  Only string-literal bug ids are
+    recognised (all subjects use literals); dynamic ids are skipped.
+
+    Returns sites in source order.
+    """
+    tree = ast.parse(source)
+    sites: List[BugSite] = []
+
+    def walk(node: ast.AST, function: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            scope = function
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scope = child.name
+            if isinstance(child, ast.Call):
+                callee = child.func
+                name = callee.id if isinstance(callee, ast.Name) else (
+                    callee.attr if isinstance(callee, ast.Attribute) else None
+                )
+                if (
+                    name == "record_bug"
+                    and child.args
+                    and isinstance(child.args[0], ast.Constant)
+                    and isinstance(child.args[0].value, str)
+                ):
+                    sites.append(
+                        BugSite(
+                            bug_id=child.args[0].value,
+                            function=function,
+                            line=child.lineno,
+                        )
+                    )
+            walk(child, scope)
+
+    walk(tree, "<module>")
+    return sites
+
+
+def faulty_predicate_mask(table, bug_sites: Sequence[BugSite]) -> np.ndarray:
+    """Boolean mask of predicates instrumenting a faulty function.
+
+    A predicate counts as *faulty* when its site's enclosing function
+    contains a ground-truth :class:`BugSite` -- function granularity,
+    matching how the fault-localisation literature grades
+    rank-of-first-faulty-element when exact line attribution is noisy
+    (our instrumented sites rarely sit on the very ``record_bug`` line).
+
+    Args:
+        table: The :class:`~repro.core.predicates.PredicateTable` built
+            from the same source the bug sites were scanned from.
+        bug_sites: Output of :func:`bug_sites_from_source`.
+
+    Returns:
+        Length-``n_predicates`` boolean array.
+    """
+    faulty_functions = {site.function for site in bug_sites}
+    mask = np.zeros(len(table.predicates), dtype=bool)
+    for pred in table.predicates:
+        if table.site_of(pred.index).function in faulty_functions:
+            mask[pred.index] = True
+    return mask
 
 
 def bugs_covered(

@@ -7,7 +7,11 @@ whole reproduction incremental -- all scores are functions of integer
 sufficient statistics that add exactly across disjoint seed ranges.
 Replicating committed shard *bytes* (not reports, not counts) therefore
 preserves every downstream result bit for bit: shard SHAs, streamed
-statistics, scores, rankings.
+statistics, scores, rankings.  The same property holds for every
+registered suspiciousness measure (:mod:`repro.core.measures`):
+``AnalysisEngine.federated_scores(stores, measure=...)`` scores the
+un-materialised union of N stores bit-identically to scoring the merged
+store this module produces, under any measure.
 
 Protocol (manifest-diff sync):
 

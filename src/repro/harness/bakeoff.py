@@ -1,0 +1,227 @@
+"""The measure bake-off harness behind ``repro-cbi bakeoff``.
+
+Runs every registered suspiciousness measure (:mod:`repro.core.measures`)
+on every subject against the static ground-truth bug sites
+(:func:`repro.core.truth.bug_sites_from_source`) and reports, per
+``(measure, subject)`` cell:
+
+* **rank of first faulty site** -- 1-based position, in the measure's
+  full-table descending ranking (stable ties by predicate index), of the
+  first predicate whose site lies in a faulty function;
+* **wasted effort** -- the number of *distinct non-faulty sites* a
+  developer would examine before reaching that predicate (the standard
+  "wasted effort" cost model of the SBFL literature, at site
+  granularity so duplicate predicates on one site are not double-billed).
+
+Trials are fully deterministic (seeded inputs, full observation -- no
+sampling noise in the counts), so the emitted document is reproducible
+bit for bit; CI compares the Importance row against a committed baseline
+(:func:`compare_to_baseline`).  Regenerating the paper's own ranking is
+the ``importance`` row of the matrix: the registry entry delegates to
+:func:`repro.core.importance.importance_scores`, so that row is
+bit-identical to the historical pipeline by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import measures
+from repro.core.truth import bug_sites_from_source, faulty_predicate_mask
+from repro.instrument.sampling import SamplingPlan
+from repro.instrument.tracer import instrument_source
+from repro.store.incremental import SufficientStats
+
+#: Document schema identifier, bumped on layout changes.
+BAKEOFF_SCHEMA = "repro-bakeoff/v1"
+
+#: Default trials per subject; enough for every subject to surface each
+#: measure's ordering while keeping the full 5-subject matrix fast.
+DEFAULT_RUNS = 400
+
+
+@dataclass(frozen=True)
+class BakeoffCell:
+    """Metrics for one measure on one subject."""
+
+    measure: str
+    subject: str
+    rank_of_first_faulty_site: Optional[int]
+    wasted_effort_sites: Optional[int]
+    first_faulty_predicate: Optional[str]
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "rank_of_first_faulty_site": self.rank_of_first_faulty_site,
+            "wasted_effort_sites": self.wasted_effort_sites,
+            "first_faulty_predicate": self.first_faulty_predicate,
+        }
+
+
+def rank_metrics(
+    table, values: np.ndarray, faulty_mask: np.ndarray
+) -> Dict[str, object]:
+    """Grade one measure's value array against the faulty-predicate mask.
+
+    The ranking is the full-table stable descending argsort of
+    ``values`` (ties resolve in predicate-index order, exactly as in
+    :func:`repro.core.ranking.rank_by_measure`).  Returns the metric dict
+    for one bake-off cell; all three metrics are ``None`` when no
+    predicate is faulty (a subject with no extracted bug sites).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    faulty_mask = np.asarray(faulty_mask, dtype=bool)
+    if not faulty_mask.any():
+        return {
+            "rank_of_first_faulty_site": None,
+            "wasted_effort_sites": None,
+            "first_faulty_predicate": None,
+        }
+    order = np.argsort(-values, kind="stable")
+    examined_sites: set = set()
+    for rank, idx in enumerate(order, start=1):
+        idx = int(idx)
+        if faulty_mask[idx]:
+            pred = table.predicates[idx]
+            return {
+                "rank_of_first_faulty_site": rank,
+                "wasted_effort_sites": len(examined_sites),
+                "first_faulty_predicate": pred.name,
+            }
+        examined_sites.add(table.predicates[idx].site_index)
+    raise AssertionError("faulty_mask.any() held but no faulty predicate ranked")
+
+
+def run_bakeoff(
+    subjects: Dict[str, type],
+    subject_names: Optional[Sequence[str]] = None,
+    measure_names: Optional[Sequence[str]] = None,
+    runs: int = DEFAULT_RUNS,
+    seed: int = 0,
+    jobs: int = 1,
+) -> Dict[str, object]:
+    """Run the full measure x subject bake-off matrix.
+
+    Args:
+        subjects: Name -> subject-class mapping (``repro.cli.SUBJECTS``).
+        subject_names: Subset of subjects to grade (default: all, in
+            registry order).
+        measure_names: Subset of measures (default: every registered
+            measure, sorted).
+        runs: Deterministic trials per subject, full observation.
+        seed: Base trial seed.
+        jobs: Worker count for the scoring engine (the measure values go
+            through :meth:`AnalysisEngine.score_stats`, so the matrix is
+            identical for any ``jobs``).
+
+    Returns:
+        A ``repro-bakeoff/v1`` JSON document (see ``docs/MEASURES.md``).
+    """
+    from repro.core.engine import AnalysisEngine
+    from repro.harness.runner import run_trials
+
+    names = list(subject_names) if subject_names else list(subjects)
+    mnames = list(measure_names) if measure_names else list(measures.available())
+    for m in mnames:
+        measures.get(m)  # fail fast on unknown names
+    engine = AnalysisEngine(jobs=jobs)
+
+    subject_docs: Dict[str, object] = {}
+    matrix: Dict[str, Dict[str, Dict[str, object]]] = {m: {} for m in mnames}
+    for name in names:
+        subject = subjects[name]()
+        source = subject.source()
+        program = instrument_source(source, name)
+        sites = bug_sites_from_source(source)
+        faulty = faulty_predicate_mask(program.table, sites)
+        reports, _truth = run_trials(
+            subject, program, runs, SamplingPlan.full(), seed=seed
+        )
+        stats = SufficientStats.from_reports(reports)
+        subject_docs[name] = {
+            "runs": int(reports.n_runs),
+            "failing": int(reports.failed.sum()),
+            "predicates": int(len(program.table.predicates)),
+            "faulty_predicates": int(faulty.sum()),
+            "bug_sites": [
+                {"bug_id": s.bug_id, "function": s.function, "line": s.line}
+                for s in sites
+            ],
+        }
+        for m in mnames:
+            scoring = engine.score_stats(stats, measure=m)
+            matrix[m][name] = rank_metrics(
+                program.table, scoring.measure_values, faulty
+            )
+
+    return {
+        "schema": BAKEOFF_SCHEMA,
+        "runs": int(runs),
+        "seed": int(seed),
+        "sampling": "full",
+        "subjects": subject_docs,
+        "measures": [
+            {
+                "measure": m,
+                "version": measures.get(m).version,
+                "formula": measures.get(m).formula,
+                "results": matrix[m],
+            }
+            for m in mnames
+        ],
+    }
+
+
+@dataclass
+class BaselineRegression:
+    """One Importance-row regression against a committed baseline."""
+
+    subject: str
+    baseline_rank: int
+    current_rank: Optional[int]
+
+    def __str__(self) -> str:
+        cur = "unranked" if self.current_rank is None else str(self.current_rank)
+        return (
+            f"importance rank-of-first-faulty-site regressed on "
+            f"{self.subject}: baseline {self.baseline_rank}, now {cur}"
+        )
+
+
+def compare_to_baseline(
+    document: Dict[str, object], baseline: Dict[str, object]
+) -> List[BaselineRegression]:
+    """Compare the Importance row against a committed baseline document.
+
+    A *regression* is a strictly larger (or newly missing)
+    rank-of-first-faulty-site for a subject both documents grade.
+    Subjects present only on one side are ignored, so a quick CI run over
+    one subject can gate against a full committed matrix.
+    """
+
+    def importance_row(doc: Dict[str, object]) -> Dict[str, Dict[str, object]]:
+        for entry in doc.get("measures", []):
+            if entry.get("measure") == "importance":
+                return entry.get("results", {})
+        return {}
+
+    base_row = importance_row(baseline)
+    cur_row = importance_row(document)
+    regressions: List[BaselineRegression] = []
+    for subject in sorted(set(base_row) & set(cur_row)):
+        base_rank = base_row[subject].get("rank_of_first_faulty_site")
+        cur_rank = cur_row[subject].get("rank_of_first_faulty_site")
+        if base_rank is None:
+            continue
+        if cur_rank is None or cur_rank > base_rank:
+            regressions.append(
+                BaselineRegression(
+                    subject=subject,
+                    baseline_rank=int(base_rank),
+                    current_rank=None if cur_rank is None else int(cur_rank),
+                )
+            )
+    return regressions

@@ -123,6 +123,39 @@ def format_logistic_table(ranked: Iterable, top: int = 10) -> str:
     return "\n".join(lines)
 
 
+def format_bakeoff_table(document: Mapping[str, object]) -> str:
+    """Render a ``repro-bakeoff/v1`` document as a measures x subjects matrix.
+
+    One row per measure, one column pair per subject:
+    ``rank`` (rank of first faulty site) and ``waste`` (distinct
+    non-faulty sites examined first).  ``-`` marks subjects with no
+    ground-truth faulty predicate.
+    """
+    subjects = list(document["subjects"])
+    header = f"{'measure':<14}" + "".join(
+        f" {s[:10]:>10} {'waste':>6}" for s in subjects
+    )
+    lines = [
+        f"bake-off: {document['runs']} runs/subject, seed {document['seed']}, "
+        f"{document['sampling']} sampling",
+        header,
+        "-" * len(header),
+    ]
+    for entry in document["measures"]:
+        cells = ""
+        for s in subjects:
+            res = entry["results"].get(s, {})
+            rank = res.get("rank_of_first_faulty_site")
+            waste = res.get("wasted_effort_sites")
+            cells += (
+                f" {'-':>10} {'-':>6}"
+                if rank is None
+                else f" {rank:>10d} {waste:>6d}"
+            )
+        lines.append(f"{entry['measure']:<14}" + cells)
+    return "\n".join(lines)
+
+
 def format_stack_table(study) -> str:
     """Render the Section 6 stack-signature study."""
     lines = [

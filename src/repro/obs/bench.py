@@ -371,6 +371,39 @@ def run_analysis_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
                 )
             )
 
+        # Measure bake-off wall: every registered suspiciousness measure
+        # scored over the same streamed statistics, per store size.  The
+        # per-measure walls price the registry seam itself -- each pass
+        # runs the full partitioned score_stats pipeline under one
+        # measure, exactly what `bakeoff` and `GET /scores?measure=` pay.
+        from repro.core import measures as _measures
+
+        for size, store_dir in store_dirs:
+            store = ShardStore.open(store_dir)
+            engine = AnalysisEngine(jobs=1)
+            stats = engine.store_stats(store)
+            walls: Dict[str, float] = {}
+            for m in _measures.available():
+                start = time.perf_counter()
+                engine.score_stats(stats, measure=m)
+                walls[m] = time.perf_counter() - start
+            total = sum(walls.values())
+            metrics = {f"{m}_wall_seconds": w for m, w in walls.items()}
+            metrics["total_wall_seconds"] = total
+            metrics["measures_per_sec"] = len(walls) / max(total, 1e-9)
+            scenarios.append(
+                _scenario(
+                    "bakeoff",
+                    {
+                        "runs": size,
+                        "shards": store.n_shards,
+                        "measures": len(walls),
+                    },
+                    metrics,
+                    subject="ccrypt",
+                )
+            )
+
         # Streaming merge bandwidth over the largest store's bytes.
         size, store_dir = store_dirs[-1]
         store = ShardStore.open(store_dir)

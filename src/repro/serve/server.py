@@ -314,16 +314,29 @@ class CollectionService:
     # ------------------------------------------------------------------
     # Read endpoints
     # ------------------------------------------------------------------
-    def scores_payload(self, k: Optional[int] = None) -> dict:
-        """Top-``k`` predicates by Importance over the committed population.
+    def scores_payload(
+        self, k: Optional[int] = None, measure: Optional[str] = None
+    ) -> dict:
+        """Top-``k`` predicates by a registered measure over committed runs.
 
-        Computed from the live statistics through the exact
-        ``analyze --stats-only`` path
+        ``measure`` defaults to the paper's Importance
+        (:data:`repro.core.measures.DEFAULT_MEASURE`).  Computed from the
+        live statistics through the exact ``analyze --stats-only`` path
         (:meth:`AnalysisEngine.score_stats <repro.core.engine.AnalysisEngine.score_stats>`
-        + :func:`repro.core.importance.importance_scores` + the CLI's
-        ranking expression), so counts and floats agree bit for bit with
-        the CLI run against the store directory at this moment.
+        with the same measure + the CLI's ranking expression), so counts
+        and floats agree bit for bit with the CLI run against the store
+        directory at this moment.  Each predicate entry carries the
+        selected measure's value as ``score``; ``importance`` stays
+        populated for schema compatibility with older clients.
+
+        Raises:
+            repro.core.measures.UnknownMeasureError: For unknown names
+                (the HTTP layer maps it to a 400).
         """
+        from repro.core import measures as _measures
+
+        measure_name = measure or _measures.DEFAULT_MEASURE
+        _measures.get(measure_name)  # validate before taking the lock
         with self.lock:
             stats = self.live_stats
             n_runs = stats.num_failing + stats.num_successful
@@ -333,16 +346,18 @@ class CollectionService:
                 "table_sha": self.store.manifest.table_sha,
                 "n_runs": int(n_runs),
                 "num_failing": int(stats.num_failing),
+                "measure": measure_name,
                 "predicates": [],
             }
             if n_runs == 0:
                 return document
-            scoring = self.engine.score_stats(stats)
+            scoring = self.engine.score_stats(stats, measure=measure_name)
             scores = scoring.scores
+            values = scoring.measure_values
             imp = importance_scores(scores)
             order = sorted(
                 scoring.pruning.kept_indices.tolist(),
-                key=lambda i: imp.importance[i],
+                key=lambda i: values[i],
                 reverse=True,
             )
             if k is not None:
@@ -351,6 +366,7 @@ class CollectionService:
                 {
                     "index": int(i),
                     "name": self.table.predicates[i].name,
+                    "score": float(values[i]),
                     "importance": float(imp.importance[i]),
                     "increase": float(scores.increase[i]),
                     "failure": float(scores.failure[i]),
@@ -493,7 +509,10 @@ class _IngestHandler(BaseHTTPRequestHandler):
             self._send_json(200, service.metrics_payload())
             return
         if path == "/scores":
+            from repro.core.measures import UnknownMeasureError
+
             k: Optional[int] = None
+            measure: Optional[str] = None
             for part in query.split("&"):
                 if part.startswith("k="):
                     try:
@@ -501,7 +520,12 @@ class _IngestHandler(BaseHTTPRequestHandler):
                     except ValueError:
                         self._send_json(400, {"error": "bad-query", "detail": part})
                         return
-            self._send_json(200, service.scores_payload(k=k))
+                elif part.startswith("measure="):
+                    measure = part[len("measure="):]
+            try:
+                self._send_json(200, service.scores_payload(k=k, measure=measure))
+            except UnknownMeasureError as exc:
+                self._send_json(400, {"error": "unknown-measure", "detail": str(exc)})
             return
         if path == "/manifest":
             self._send_json(200, service.manifest_payload())

@@ -39,11 +39,13 @@ PAGES_WITH_BLOCKS = [p for p in _doc_pages() if _python_blocks(p)]
 
 
 def test_some_pages_carry_executable_snippets():
-    # The doctest net must actually cover something; README.md and
-    # docs/OBSERVABILITY.md both commit to executable examples.
+    # The doctest net must actually cover something; README.md,
+    # docs/OBSERVABILITY.md, and docs/MEASURES.md all commit to
+    # executable examples.
     covered = {os.path.basename(p) for p in PAGES_WITH_BLOCKS}
     assert "README.md" in covered
     assert "OBSERVABILITY.md" in covered
+    assert "MEASURES.md" in covered
 
 
 @pytest.mark.parametrize(
