@@ -253,6 +253,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--training-runs", type=int, default=200, help="adaptive training set size"
     )
     serve.add_argument(
+        "--no-steering", action="store_true",
+        help="do not publish GET /steering (clients fall back to their "
+        "local sampling plans, the pre-steering behaviour)",
+    )
+    serve.add_argument(
+        "--refit-runs", type=int, default=100,
+        help="refit the steering document every N committed runs",
+    )
+    serve.add_argument(
+        "--watchlist-k", type=int, default=10,
+        help="predicates on the steering watchlist",
+    )
+    serve.add_argument(
+        "--measure", choices=list(measures.available()),
+        default=measures.DEFAULT_MEASURE,
+        help="suspiciousness measure ordering the steering watchlist",
+    )
+    serve.add_argument(
+        "--stop-epsilon", type=float, default=0.1,
+        help="early stopping: maximum Increase half-interval width for "
+        "the top predictors before the subject converges",
+    )
+    serve.add_argument(
+        "--stop-min-runs", type=int, default=100,
+        help="early stopping: minimum committed runs before convergence",
+    )
+    serve.add_argument(
+        "--stop-min-failing", type=int, default=10,
+        help="early stopping: minimum committed failing runs before "
+        "convergence",
+    )
+    serve.add_argument(
         "--metrics", metavar="PATH", default=None,
         help="also write final serve metrics to PATH on shutdown",
     )
@@ -308,6 +340,21 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--max-attempts", type=int, default=8,
         help="attempts per batch before the drain gives up",
+    )
+    submit.add_argument(
+        "--steered", action="store_true",
+        help="fetch the server's GET /steering rate table, run trials "
+        "under it, and stamp its version into every report; falls back "
+        "to the local --sampling plan when the server has no steering",
+    )
+    submit.add_argument(
+        "--until-converged", action="store_true",
+        help="steered rounds of --runs trials until the daemon reports "
+        "convergence (implies --steered)",
+    )
+    submit.add_argument(
+        "--max-rounds", type=int, default=50,
+        help="round budget for --until-converged",
     )
     submit.add_argument(
         "--top", type=int, default=0,
@@ -608,11 +655,22 @@ def _serve(args) -> int:
     obs_on = bool(args.trace)
     if obs_on:
         obs.configure(trace_path=args.trace)
+    from repro.core.stopping import StoppingPolicy
+
     service = CollectionService(
         store,
         subject,
         batch_runs=args.batch_runs,
         max_buffered=args.max_buffered,
+        steering=not args.no_steering,
+        refit_runs=args.refit_runs,
+        watchlist_k=args.watchlist_k,
+        measure=args.measure,
+        stopping=StoppingPolicy(
+            epsilon=args.stop_epsilon,
+            min_runs=args.stop_min_runs,
+            min_failing=args.stop_min_failing,
+        ),
     )
     server = FeedbackServer(
         service,
@@ -655,7 +713,14 @@ def _submit(args) -> int:
     """Run trials, spool their reports, and drain the spool to a server."""
     from repro.harness.experiment import build_plan
     from repro.instrument.tracer import instrument_source
-    from repro.serve import ReportSpool, drain_spool, fetch_scores, run_and_spool
+    from repro.serve import (
+        ReportSpool,
+        drain_spool,
+        fetch_scores,
+        run_and_spool,
+        steered_collect_and_submit,
+        submit_until_converged,
+    )
     from repro.store.faults import FaultInjector
 
     code, faults = _cli_faults(args)
@@ -673,29 +738,70 @@ def _submit(args) -> int:
         training_runs=args.training_runs,
         seed=args.seed,
     )
-    spool = ReportSpool(args.spool)
-    if runs:
-        run_and_spool(subject, program, plan, spool, runs, seed=args.seed)
-        print(
-            f"spooled {runs} reports (seeds {args.seed}.."
-            f"{args.seed + runs - 1}) to {args.spool}",
-            file=sys.stderr,
+    injector = FaultInjector(faults or ())
+    if args.until_converged:
+        session = submit_until_converged(
+            subject,
+            program,
+            args.url,
+            args.spool,
+            runs_per_round=runs or subject.trial_budget,
+            seed=args.seed,
+            max_rounds=args.max_rounds,
+            batch_size=args.batch_size,
+            fallback_plan=plan,
+            timeout=args.timeout,
+            max_attempts=args.max_attempts,
+            faults=injector,
         )
-    result = drain_spool(
-        spool,
-        args.url,
-        subject.name,
-        program.table.signature(),
-        batch_size=args.batch_size,
-        timeout=args.timeout,
-        max_attempts=args.max_attempts,
-        faults=FaultInjector(faults or ()),
-    )
-    print(
-        f"submitted: {len(result.accepted)} accepted, "
-        f"{len(result.duplicate)} duplicate, {len(result.rejected)} rejected "
-        f"({result.requests} requests, {result.retries} retries)"
-    )
+        print(
+            f"{'converged' if session.converged else 'round budget exhausted'} "
+            f"after {session.rounds} rounds ({session.runs} trials, "
+            f"steering epoch {session.final_epoch})"
+        )
+    elif args.steered:
+        result = steered_collect_and_submit(
+            subject,
+            program,
+            args.url,
+            args.spool,
+            runs,
+            seed=args.seed,
+            batch_size=args.batch_size,
+            fallback_plan=plan,
+            timeout=args.timeout,
+            max_attempts=args.max_attempts,
+            faults=injector,
+        )
+        print(
+            f"submitted: {len(result.accepted)} accepted, "
+            f"{len(result.duplicate)} duplicate, {len(result.rejected)} rejected "
+            f"({result.requests} requests, {result.retries} retries)"
+        )
+    else:
+        spool = ReportSpool(args.spool)
+        if runs:
+            run_and_spool(subject, program, plan, spool, runs, seed=args.seed)
+            print(
+                f"spooled {runs} reports (seeds {args.seed}.."
+                f"{args.seed + runs - 1}) to {args.spool}",
+                file=sys.stderr,
+            )
+        result = drain_spool(
+            spool,
+            args.url,
+            subject.name,
+            program.table.signature(),
+            batch_size=args.batch_size,
+            timeout=args.timeout,
+            max_attempts=args.max_attempts,
+            faults=injector,
+        )
+        print(
+            f"submitted: {len(result.accepted)} accepted, "
+            f"{len(result.duplicate)} duplicate, {len(result.rejected)} rejected "
+            f"({result.requests} requests, {result.retries} retries)"
+        )
     if args.top:
         scores = fetch_scores(args.url, k=args.top, timeout=args.timeout)
         print(
@@ -703,8 +809,9 @@ def _submit(args) -> int:
             f"({scores['num_failing']} failing):"
         )
         for entry in scores["predicates"]:
+            value = entry.get("score", entry.get("importance", 0.0))
             print(
-                f"{entry['importance']:>10.3f}  {entry['increase']:>8.3f}  "
+                f"{value:>10.3f}  {entry['increase']:>8.3f}  "
                 f"{entry['F']:>6}  {entry['S']:>6}  {entry['name']}"
             )
     return 0

@@ -90,6 +90,15 @@ def runs_needed(
 
     Returns:
         A :class:`RunsNeededResult`.
+
+    Tie rule (pinned by the regression suite): the answer is the
+    **first** schedule step whose gap is **strictly** below the
+    threshold -- ``full_imp - imp_n < threshold``, never ``<=``.  A
+    predictor whose importance oscillates around the threshold after
+    that first crossing does *not* reset the answer; the paper's
+    question is "when could collection have stopped?", and the earliest
+    crossing is that moment.  A gap exactly equal to the threshold does
+    not converge.
     """
     if schedule is None:
         schedule = default_schedule(reports.n_runs)
@@ -112,6 +121,37 @@ def runs_needed(
         threshold=threshold,
         curve=curve,
     )
+
+
+def runs_to_isolate(
+    reports: ReportSet,
+    predicate_indices: Sequence[int],
+    threshold: float = 0.2,
+    schedule: Optional[Sequence[int]] = None,
+    confidence: float = DEFAULT_CONFIDENCE,
+) -> Optional[int]:
+    """Runs needed to isolate *every* bug's predictor (the steering metric).
+
+    Applies :func:`runs_needed` to one chosen predictor per bug and
+    returns the maximum over them -- the first run count at which every
+    predictor's importance has stabilised, i.e. the budget at which
+    collection could have stopped with the full-population answer in
+    hand.  Returns None when any predictor never converges within the
+    population (collection would have needed more runs than were made),
+    and when no predictors are given (no isolated bugs means there is
+    no isolation cost to report).
+    """
+    if not predicate_indices:
+        return None
+    worst = 0
+    for index in predicate_indices:
+        result = runs_needed(
+            reports, index, threshold=threshold, schedule=schedule, confidence=confidence
+        )
+        if result.runs_needed is None:
+            return None
+        worst = max(worst, result.runs_needed)
+    return worst
 
 
 def estimate_runs_for_failures(failures_needed: int, predictor_run_fraction: float) -> int:

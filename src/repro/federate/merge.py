@@ -205,9 +205,21 @@ def plan_sync(
     chosen: Dict[Tuple[int, int], PullItem] = {}
     counted_present: set = set()
 
+    # Steering artifacts (and the ingest WAL) are local to one daemon's
+    # live session: they describe *that* store's fit over *its* committed
+    # population and must never be replicated.  A manifest offering one
+    # is structurally broken — refuse rather than silently skip.
+    from repro.serve.steering import STORE_LOCAL_FILES
+
     for source, manifest in sorted(sources, key=lambda pair: pair[0].label):
         _require_compatible(dest_manifest, source.label, manifest)
         for entry in manifest.shards:
+            if os.path.basename(entry.filename) in STORE_LOCAL_FILES:
+                raise FederationError(
+                    f"source {source.label} manifest lists store-local file "
+                    f"{entry.filename}; steering documents and ingest WALs "
+                    "are never replicated between stores"
+                )
             if entry.seed_start is None:
                 raise FederationError(
                     f"source {source.label} shard {entry.filename} has no "

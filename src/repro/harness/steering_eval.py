@@ -1,0 +1,120 @@
+"""Measuring the steering payoff: runs to isolate, before vs. after.
+
+The headline number for closed-loop adaptive collection is the paper's
+Table 8 question answered live: how many runs are needed until every
+bug's chosen predictor has a stable Importance?  :func:`steering_payoff`
+answers it twice over identical trial budgets --
+
+* **unsteered**: the paper's deployment default, uniform 1/100 sampling
+  for every trial;
+* **steered**: the closed loop, trials starting fully sampled with
+  per-site rates refit every ``refit_runs`` trials from cumulative
+  observed counts (:func:`repro.harness.runner.run_trials_steered`, the
+  local analogue of daemon steering)
+
+-- and reports each population's :func:`~repro.core.runs_needed.runs_to_isolate`.
+Steering keeps rarely reached (and therefore information-starved) sites
+fully sampled while hot sites back off toward the floor, so the steered
+population reaches a stable ranking in fewer runs.
+
+Everything is deterministic in ``(subject, n_runs, seed)``; the
+EXPERIMENTS.md table and the ``steering`` bench scenario both come from
+these functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.runs_needed import runs_to_isolate
+from repro.core.truth import dominant_bug
+from repro.harness.experiment import Experiment, ExperimentResult, run_experiment
+from repro.subjects.base import Subject
+
+
+@dataclass
+class SteeringPayoff:
+    """Before/after runs-to-isolate for one subject at one budget.
+
+    Attributes:
+        subject: Subject name.
+        n_runs: The (equal) trial budget of both populations.
+        unsteered: Runs to isolate every bug under uniform 1/100
+            sampling, or None when some predictor never converged
+            within the budget.
+        steered: Same, under closed-loop steering.
+        unsteered_bugs / steered_bugs: Bugs with an isolated predictor
+            in each population (the metric only covers these).
+    """
+
+    subject: str
+    n_runs: int
+    unsteered: Optional[int]
+    steered: Optional[int]
+    unsteered_bugs: int
+    steered_bugs: int
+
+    @property
+    def improved(self) -> bool:
+        """Did steering isolate at least as cheaply as uniform sampling?
+
+        An unconverged population counts as needing more than the
+        budget, so converged always beats unconverged.
+        """
+        if self.steered is None:
+            return False
+        if self.unsteered is None:
+            return True
+        return self.steered <= self.unsteered
+
+
+def chosen_predictors(result: ExperimentResult) -> Dict[str, int]:
+    """One predictor per bug: the highest-ranked selection dominating it."""
+    chosen: Dict[str, int] = {}
+    for sel in result.elimination.selected:
+        dom = dominant_bug(result.reports, result.truth, sel.predicate.index)
+        if dom is None:
+            continue
+        chosen.setdefault(dom[0], sel.predicate.index)
+    return chosen
+
+
+def runs_to_isolate_for(result: ExperimentResult, threshold: float = 0.2) -> Optional[int]:
+    """Budget at which every isolated bug's predictor had stabilised."""
+    chosen = chosen_predictors(result)
+    if not chosen:
+        return None
+    return runs_to_isolate(
+        result.reports, sorted(chosen.values()), threshold=threshold
+    )
+
+
+def steering_payoff(
+    subject: Subject,
+    n_runs: int,
+    seed: int = 0,
+    refit_runs: int = 200,
+    threshold: float = 0.2,
+) -> SteeringPayoff:
+    """Run the before/after comparison for one subject at one budget."""
+    unsteered = run_experiment(
+        Experiment(subject=subject, n_runs=n_runs, sampling="uniform", seed=seed)
+    )
+    steered = run_experiment(
+        Experiment(
+            subject=subject,
+            n_runs=n_runs,
+            sampling="steered",
+            training_runs=refit_runs,
+            seed=seed,
+        )
+    )
+    return SteeringPayoff(
+        subject=subject.name,
+        n_runs=n_runs,
+        unsteered=runs_to_isolate_for(unsteered, threshold=threshold),
+        steered=runs_to_isolate_for(steered, threshold=threshold),
+        unsteered_bugs=len(chosen_predictors(unsteered)),
+        steered_bugs=len(chosen_predictors(steered)),
+    )

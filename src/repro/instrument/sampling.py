@@ -138,6 +138,20 @@ class SamplingPlan:
         """Build a per-site plan from training reach counts."""
         return cls.per_site(adaptive_rates(mean_reach_counts, target_samples, min_rate))
 
+    @classmethod
+    def from_steering(cls, document) -> "SamplingPlan":
+        """Build a per-site plan from a daemon's steering document.
+
+        ``document`` is a :class:`repro.serve.steering.SteeringDocument`
+        or any object/dict carrying a ``rates`` sequence (duck-typed so
+        this layer stays independent of the serving stack).  The rates
+        feed the ordinary per-site machinery unchanged, which is what
+        makes steered collection with a pinned table bit-identical to a
+        local adaptive plan over the same seeds.
+        """
+        rates = document["rates"] if isinstance(document, dict) else document.rates
+        return cls.per_site(rates)
+
     def initial_gaps(self, n_sites: int, rng: np.random.Generator) -> List[int]:
         """Draw the initial countdown for each site (or the global one).
 

@@ -287,6 +287,39 @@ def run_collection_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
                 subject="ccrypt",
             )
         )
+
+    # Closed-loop steering payoff: the Table 8 "runs to isolate every
+    # bug" question answered at an equal trial budget under uniform
+    # 1/100 sampling vs. the steered closed loop (the EXPERIMENTS.md
+    # "before vs. after steering" table; this re-measures the ccrypt
+    # row).  An unconverged population reports the full budget -- it
+    # needed more runs than were collected.
+    from repro.harness.steering_eval import steering_payoff
+
+    n_steer = 300 if quick else _scaled(2000, scale)
+    refit = max(n_steer // 10, 50)
+    start = time.perf_counter()
+    payoff = steering_payoff(subject, n_steer, seed=0, refit_runs=refit)
+    wall = time.perf_counter() - start
+    budget = float(n_steer)
+    scenarios.append(
+        _scenario(
+            "steering",
+            {"runs": n_steer, "refit_runs": refit, "threshold": 0.2},
+            {
+                "wall_seconds": wall,
+                "unsteered_runs_to_isolate": float(
+                    payoff.unsteered if payoff.unsteered is not None else budget
+                ),
+                "steered_runs_to_isolate": float(
+                    payoff.steered if payoff.steered is not None else budget
+                ),
+                "unsteered_bugs_isolated": float(payoff.unsteered_bugs),
+                "steered_bugs_isolated": float(payoff.steered_bugs),
+            },
+            subject="ccrypt",
+        )
+    )
     return scenarios
 
 

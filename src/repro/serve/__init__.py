@@ -19,6 +19,10 @@ that network boundary, built entirely on the standard library:
 * :mod:`repro.serve.client` -- the uploader: a crash-safe disk spool
   drained with retry + exponential backoff + jitter, so injected or real
   network faults never lose a report.
+* :mod:`repro.serve.steering` -- closed-loop adaptive collection: the
+  daemon's periodically refit ``repro-steering/v1`` rate-table +
+  watchlist document behind ``GET /steering``, applied by steered
+  clients and stamped into their reports for end-to-end provenance.
 
 The acceptance bar for the whole stack is *bit-identity*: a population
 collected client -> server -> store analyses identically to the same
@@ -28,6 +32,7 @@ seed range collected locally by
 
 from repro.serve.batcher import BatcherFull, ReportBatcher
 from repro.serve.client import (
+    ConvergenceReport,
     ReportSpool,
     SubmitReport,
     UploadError,
@@ -35,6 +40,8 @@ from repro.serve.client import (
     drain_spool,
     fetch_scores,
     run_and_spool,
+    steered_collect_and_submit,
+    submit_until_converged,
     watched_from_scores,
 )
 from repro.serve.protocol import (
@@ -46,6 +53,17 @@ from repro.serve.protocol import (
     validate_payload,
 )
 from repro.serve.server import CollectionService, FeedbackServer
+from repro.serve.steering import (
+    STEERING_SCHEMA,
+    STORE_LOCAL_FILES,
+    SteeringDocument,
+    fetch_steering,
+    fit_steering,
+    load_steering,
+    manifest_digest,
+    plan_from_steering,
+    steering_from_wire,
+)
 
 __all__ = [
     "REPORT_SCHEMA",
@@ -61,9 +79,21 @@ __all__ = [
     "ReportSpool",
     "SubmitReport",
     "UploadError",
+    "ConvergenceReport",
     "run_and_spool",
     "drain_spool",
     "collect_and_submit",
+    "steered_collect_and_submit",
+    "submit_until_converged",
     "fetch_scores",
     "watched_from_scores",
+    "STEERING_SCHEMA",
+    "STORE_LOCAL_FILES",
+    "SteeringDocument",
+    "fetch_steering",
+    "fit_steering",
+    "load_steering",
+    "manifest_digest",
+    "plan_from_steering",
+    "steering_from_wire",
 ]

@@ -144,13 +144,17 @@ def run_and_spool(
     spool: ReportSpool,
     n_runs: int,
     seed: int = 0,
+    steering_version: Optional[str] = None,
 ) -> int:
     """Execute seeded trials locally and spool their wire reports.
 
     Trials go through the exact shared
     :func:`repro.harness.runner.run_one_trial`, so a spooled report for
     seed ``s`` is byte-for-byte the record a local collection session
-    would have produced for the same seed.
+    would have produced for the same seed.  ``steering_version``
+    stamps each report with the steering document the plan came from
+    (None — the default — leaves the wire bytes identical to
+    pre-steering clients).
 
     Returns the number of reports spooled.
     """
@@ -168,6 +172,7 @@ def run_and_spool(
                 pred_true=dict(pred_true),
                 stack=tuple(stack) if stack is not None else None,
                 bugs=tuple(bugs),
+                steering=steering_version,
             )
         )
     return n_runs
@@ -334,6 +339,136 @@ def collect_and_submit(
     )
 
 
+def steered_collect_and_submit(
+    subject,
+    program,
+    url: str,
+    spool_dir: str,
+    n_runs: int,
+    seed: int = 0,
+    batch_size: int = 32,
+    fallback_plan=None,
+    timeout: float = 10.0,
+    **drain_kwargs,
+) -> SubmitReport:
+    """One steered round: fetch ``/steering``, run under its rates, drain.
+
+    When the server publishes a steering document, its per-site rate
+    table becomes the trial plan and every spooled report is stamped
+    with the document's version.  When the endpoint 404s (an
+    old/unsteered server), ``fallback_plan`` runs instead with no stamp
+    — byte-identical to the pre-steering client (old-server compat).
+
+    Raises:
+        ProtocolError: The served document targets a different
+            predicate table than ``program`` was instrumented with.
+    """
+    from repro.serve.protocol import ProtocolError
+    from repro.serve.steering import fetch_steering, plan_from_steering
+
+    document = fetch_steering(url, timeout=timeout)
+    if document is None:
+        if fallback_plan is None:
+            raise ValueError(
+                "server does not publish steering and no fallback_plan given"
+            )
+        plan, version = fallback_plan, None
+    else:
+        table_sha = program.table.signature()
+        if document.table_sha != table_sha:
+            raise ProtocolError(
+                "table-mismatch",
+                f"steering document targets table {document.table_sha[:12]}..., "
+                f"client is instrumented against {table_sha[:12]}...",
+            )
+        plan, version = plan_from_steering(document), document.version
+    spool = ReportSpool(spool_dir)
+    run_and_spool(
+        subject, program, plan, spool, n_runs, seed=seed, steering_version=version
+    )
+    return drain_spool(
+        spool,
+        url,
+        subject.name,
+        program.table.signature(),
+        batch_size=batch_size,
+        timeout=timeout,
+        **drain_kwargs,
+    )
+
+
+@dataclass
+class ConvergenceReport:
+    """What a ``submit --until-converged`` session did.
+
+    Attributes:
+        converged: Whether the daemon flipped its flag before the round
+            budget ran out.
+        rounds: Steered rounds executed.
+        runs: Trials executed across all rounds.
+        final_epoch: The last steering epoch observed (None when the
+            server never served a document).
+    """
+
+    converged: bool
+    rounds: int
+    runs: int
+    final_epoch: Optional[int] = None
+
+
+def submit_until_converged(
+    subject,
+    program,
+    url: str,
+    spool_dir: str,
+    runs_per_round: int,
+    seed: int = 0,
+    max_rounds: int = 50,
+    batch_size: int = 32,
+    fallback_plan=None,
+    timeout: float = 10.0,
+    **drain_kwargs,
+) -> ConvergenceReport:
+    """Steered rounds until the daemon reports convergence.
+
+    Each round fetches the current steering document, runs
+    ``runs_per_round`` trials under its rates (seeds stay contiguous
+    across rounds), drains the spool, and re-checks the ``converged``
+    flag.  Stops when the daemon converges, or after ``max_rounds``.
+    """
+    from repro.serve.steering import fetch_steering
+
+    total = 0
+    document = None
+    for round_index in range(max_rounds):
+        document = fetch_steering(url, timeout=timeout)
+        if document is not None and document.converged:
+            return ConvergenceReport(
+                True, round_index, total, final_epoch=document.epoch
+            )
+        steered_collect_and_submit(
+            subject,
+            program,
+            url,
+            spool_dir,
+            runs_per_round,
+            seed=seed + total,
+            batch_size=batch_size,
+            fallback_plan=fallback_plan,
+            timeout=timeout,
+            **drain_kwargs,
+        )
+        total += runs_per_round
+    document = fetch_steering(url, timeout=timeout)
+    converged = document is not None and document.converged
+    return ConvergenceReport(
+        converged,
+        max_rounds,
+        total,
+        final_epoch=document.epoch if document is not None else None,
+    )
+
+
 def fetch_scores(url: str, k: Optional[int] = None, timeout: float = 10.0) -> dict:
     """Fetch the live ``GET /scores`` document from a collection server."""
     target = url.rstrip("/") + "/scores"
@@ -346,10 +481,12 @@ def fetch_scores(url: str, k: Optional[int] = None, timeout: float = 10.0) -> di
 def watched_from_scores(document: dict, k: int = 5) -> Dict[int, float]:
     """Turn a ``/scores`` document into an ``OnlineMonitor`` watch map.
 
-    Returns the top-``k`` predicate indices mapped to their Importance,
-    ready for :class:`repro.core.online.OnlineMonitor`.
+    Returns the top-``k`` predicate indices mapped to the selected
+    measure's value: the ``score`` field carries whichever measure the
+    ``/scores`` query asked for, with the legacy ``importance`` field as
+    the fallback for documents from pre-measure-registry servers.
     """
     return {
-        int(entry["index"]): float(entry["importance"])
+        int(entry["index"]): float(entry.get("score", entry.get("importance", 0.0)))
         for entry in document.get("predicates", [])[:k]
     }

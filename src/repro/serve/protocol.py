@@ -22,7 +22,11 @@ by ``Content-Encoding: gzip``) carrying one or more run reports:
     }
 
 The counter maps are sparse (absent site/predicate means zero) with
-string keys, because JSON objects cannot have integer keys.  ``table_sha``
+string keys, because JSON objects cannot have integer keys.  Steered
+clients additionally stamp each report (and the envelope) with an
+optional ``steering`` version string naming the ``repro-steering/v1``
+document whose rates produced the run; the key is omitted for unsteered
+collection, so those payloads stay byte-identical to older clients.  ``table_sha``
 is the archive-v2 table signature
 (:meth:`repro.core.predicates.PredicateTable.signature`): the server
 refuses reports instrumented against a different table rather than
@@ -80,10 +84,15 @@ class RunReport:
     pred_true: Dict[int, int] = field(default_factory=dict)
     stack: Optional[Tuple[str, ...]] = None
     bugs: Tuple[str, ...] = ()
+    #: Steering provenance: the ``repro-steering/v1`` version string of the
+    #: rate table the trial ran under, or None for unsteered collection.
+    #: Emitted on the wire only when set, so unsteered payload bytes are
+    #: identical to pre-steering clients.
+    steering: Optional[str] = None
 
     def to_wire(self) -> dict:
         """The JSON-ready dict for this report."""
-        return {
+        wire = {
             "seed": self.seed,
             "failed": self.failed,
             "site_obs": {str(k): v for k, v in sorted(self.site_obs.items())},
@@ -91,6 +100,9 @@ class RunReport:
             "stack": list(self.stack) if self.stack is not None else None,
             "bugs": list(self.bugs),
         }
+        if self.steering is not None:
+            wire["steering"] = self.steering
+        return wire
 
 
 def _counter_map(raw: object, bound: int, what: str, seed: object) -> Dict[int, int]:
@@ -157,6 +169,11 @@ def report_from_wire(
                 "bad-report",
                 f"report seed={seed}: unknown bug id {bug!r} (subject knows {sorted(known)})",
             )
+    steering = spec.get("steering")
+    if steering is not None and not isinstance(steering, str):
+        raise ProtocolError(
+            "bad-report", f"report seed={seed}: steering {steering!r} is not a string"
+        )
     return RunReport(
         seed=seed,
         failed=failed,
@@ -164,6 +181,7 @@ def report_from_wire(
         pred_true=pred_true,
         stack=stack,
         bugs=tuple(bugs_raw),
+        steering=steering,
     )
 
 
@@ -172,8 +190,15 @@ def encode_batch(
     subject: str,
     table_sha: str,
     compress: bool = True,
+    steering: Optional[str] = None,
 ) -> Tuple[bytes, Dict[str, str]]:
     """Serialise a batch of reports for ``POST /reports``.
+
+    ``steering`` optionally stamps the envelope with the steering
+    version the submitting client last applied; servers that predate
+    steering ignore unknown envelope keys, and the key is omitted
+    entirely when None so unsteered batches stay byte-identical to
+    pre-steering clients.
 
     Returns:
         ``(body, headers)`` where headers carries ``Content-Type`` and,
@@ -185,6 +210,8 @@ def encode_batch(
         "table_sha": table_sha,
         "reports": [r.to_wire() for r in reports],
     }
+    if steering is not None:
+        document["steering"] = steering
     body = json.dumps(document, sort_keys=True).encode("utf-8")
     headers = {"Content-Type": "application/json"}
     if compress:

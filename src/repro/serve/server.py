@@ -13,7 +13,8 @@ without sockets:
   recoverable *and* every acknowledged report replayable.
 * :class:`FeedbackServer` -- a stdlib ``ThreadingHTTPServer`` wrapper
   exposing the service as ``POST /reports``, ``POST /flush``,
-  ``GET /scores``, ``GET /healthz`` and ``GET /metrics``, with
+  ``GET /scores``, ``GET /steering``, ``GET /healthz`` and
+  ``GET /metrics``, with
   deterministic server-side network-fault injection
   (:data:`repro.store.faults.NETWORK_FAULTS`) for the test suite.
 
@@ -35,6 +36,15 @@ scores them through the same
 path as ``repro-cbi analyze --stats-only``, so ``GET /scores`` is
 bit-identical to running ``analyze`` on the store directory at the same
 moment.
+
+Steering (closed-loop adaptive collection): every ``refit_runs``
+committed runs the service refits a per-site rate table and predicate
+watchlist from the same live statistics and publishes them as a
+versioned ``repro-steering/v1`` document behind ``GET /steering``
+(:mod:`repro.serve.steering`).  The document is persisted store-locally
+(``steering.json``) and each committed batch's steering provenance is
+appended to ``steering_log.jsonl``; neither file is ever replicated by
+federation.
 """
 
 from __future__ import annotations
@@ -52,6 +62,7 @@ from repro.core.reports import ReportBuilder
 from repro.core.truth import GroundTruth
 from repro.obs import span as _obs_span
 from repro.obs.metrics import MetricsRegistry
+from repro.core.stopping import StoppingPolicy
 from repro.serve.batcher import BatcherFull, ReportBatcher
 from repro.serve.protocol import (
     ProtocolError,
@@ -59,6 +70,12 @@ from repro.serve.protocol import (
     decode_body,
     report_from_wire,
     validate_payload,
+)
+from repro.serve.steering import (
+    STEERING_LOG_NAME,
+    SteeringDocument,
+    fit_steering,
+    save_steering,
 )
 from repro.store.faults import FaultInjector
 from repro.store.incremental import SufficientStats
@@ -83,6 +100,14 @@ class CollectionService:
         batch_runs: Contiguous seeds per committed shard.
         max_buffered: Bound on pending (acknowledged, uncommitted)
             reports; past it, uploads get 503 until a batch commits.
+        steering: Serve ``GET /steering``?  When False the endpoint
+            404s and clients fall back to their local plans (the
+            pre-steering behaviour, bit for bit).
+        refit_runs: Refit the steering document every this many newly
+            committed runs.
+        watchlist_k: Watchlist length in the steering document.
+        measure: Suspiciousness measure ordering the watchlist.
+        stopping: Early-stopping thresholds for the ``converged`` flag.
 
     Thread safety: every public method takes the service lock, so the
     threaded HTTP front end can call in from concurrent handlers.
@@ -94,7 +119,14 @@ class CollectionService:
         subject,
         batch_runs: int = 200,
         max_buffered: int = 100_000,
+        steering: bool = True,
+        refit_runs: int = 100,
+        watchlist_k: int = 10,
+        measure: Optional[str] = None,
+        stopping: Optional[StoppingPolicy] = None,
     ) -> None:
+        from repro.core import measures as _measures
+
         self.store = store
         self.subject = subject
         self.table = store.table()
@@ -103,6 +135,13 @@ class CollectionService:
         self.engine = AnalysisEngine(jobs=1)
         self.started_at = time.time()
         self._upload_counter = 0
+        self.steering_enabled = steering
+        self.refit_runs = refit_runs
+        self.watchlist_k = watchlist_k
+        self.steering_measure = measure or _measures.DEFAULT_MEASURE
+        self.stopping = stopping or StoppingPolicy()
+        self.steering_doc: Optional[SteeringDocument] = None
+        self._refit_at_runs = -1
 
         store.recover()
         committed = tuple(
@@ -117,7 +156,14 @@ class CollectionService:
             self.live_stats = store.sufficient_stats()
         else:
             self.live_stats = SufficientStats.zeros(self.table.n_predicates)
+        # Per-site observation totals over the *committed* population,
+        # the input to the steering refit's adaptive-rate fit.  Seeded
+        # from the recovered shards before WAL replay (replay commits
+        # batches, which increment these).
+        self._site_totals = self._committed_site_totals()
         self._replay_wal()
+        if self.steering_enabled:
+            self._refit_steering()
 
     # ------------------------------------------------------------------
     # Write-ahead ack log
@@ -185,6 +231,85 @@ class CollectionService:
             self.metrics.inc("serve.wal_replayed", replayed)
         self._wal_compact()
         self._commit_ready()
+
+    # ------------------------------------------------------------------
+    # Steering: the daemon refits rates + watchlist from committed runs
+    # ------------------------------------------------------------------
+    def _committed_site_totals(self):
+        """Dense per-site observation totals over the committed shards."""
+        import numpy as np
+
+        totals = np.zeros(self.table.n_sites, dtype=np.int64)
+        for reports, _ in self.store.iter_reports():
+            totals += np.asarray(reports.site_counts.sum(axis=0)).ravel().astype(np.int64)
+        return totals
+
+    def _refit_steering(self) -> None:
+        """Refit the steering document from the committed snapshot.
+
+        Pure in the snapshot: the document is a function of the manifest
+        (digested into ``manifest_sha``) plus the fit knobs, so a
+        restarted daemon over the same store re-serves the same
+        document (kill -9 acceptance contract).
+        """
+        with self.metrics.timer("serve.steering_refit"):
+            document = fit_steering(
+                self.store,
+                self.store.manifest.subject,
+                self._site_totals,
+                watchlist_k=self.watchlist_k,
+                measure=self.steering_measure,
+                policy=self.stopping,
+                stats=self.live_stats,
+            )
+        self.steering_doc = document
+        self._refit_at_runs = self.store.n_runs
+        save_steering(self.store.directory, document)
+        self.metrics.inc("serve.steering_refits")
+        self.metrics.gauge("serve.steering_epoch", float(document.epoch))
+        self.metrics.gauge("serve.steering_converged", float(document.converged))
+        self.store.log_event(
+            "serve-steer",
+            epoch=document.epoch,
+            version=document.version,
+            converged=document.converged,
+            watchlist=len(document.watchlist),
+        )
+
+    def _maybe_refit_steering(self) -> None:
+        if not self.steering_enabled:
+            return
+        if self.store.n_runs - self._refit_at_runs >= self.refit_runs:
+            self._refit_steering()
+
+    def _log_batch_steering(self, filename: str, seed_start: int, records) -> None:
+        """Append one batch's steering provenance to the store-local log.
+
+        Skipped entirely when steering is disabled: an unsteered daemon's
+        store directory stays byte-for-byte the pre-steering layout.
+        """
+        if not self.steering_enabled:
+            return
+        versions = sorted({r.steering for r in records if r.steering is not None})
+        path = os.path.join(self.store.directory, STEERING_LOG_NAME)
+        record = {
+            "filename": filename,
+            "seed_start": seed_start,
+            "n_runs": len(records),
+            "versions": versions,
+        }
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def steering_payload(self) -> Optional[dict]:
+        """``GET /steering`` document, or None when steering is disabled."""
+        with self.lock:
+            if not self.steering_enabled:
+                return None
+            if self.steering_doc is None:
+                self._refit_steering()
+            self.metrics.inc("serve.steering_requests")
+            return self.steering_doc.to_wire()
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -285,10 +410,14 @@ class CollectionService:
         reports = builder.build()
         with self.metrics.timer("serve.commit_batch"):
             with _obs_span("serve.commit_batch", seed_start=seed_start, runs=len(records)):
-                self.store.append_shard(reports, truth, seed_start=seed_start)
+                shard_path = self.store.append_shard(reports, truth, seed_start=seed_start)
         self.live_stats.add(SufficientStats.from_reports(reports))
+        for record in records:
+            for site, count in record.site_obs.items():
+                self._site_totals[site] += count
         self.batcher.mark_committed(seed_start, len(records))
         self._wal_compact()
+        self._log_batch_steering(os.path.basename(shard_path), seed_start, records)
         self.metrics.inc("serve.batches_committed")
         self.metrics.inc("serve.reports_committed", len(records))
         self.metrics.gauge("serve.queue_depth", float(self.batcher.queue_depth))
@@ -298,6 +427,7 @@ class CollectionService:
             n_runs=reports.n_runs,
             num_failing=reports.num_failing,
         )
+        self._maybe_refit_steering()
 
     def flush(self) -> int:
         """Commit every pending report (partial tail batches included).
@@ -415,14 +545,20 @@ class CollectionService:
     def health_payload(self) -> dict:
         """``GET /healthz`` document."""
         with self.lock:
-            return {
+            document = {
                 "status": "ok",
                 "subject": self.store.manifest.subject,
                 "n_shards": self.store.n_shards,
                 "n_runs": self.store.n_runs,
                 "queue_depth": self.batcher.queue_depth,
                 "uptime_seconds": time.time() - self.started_at,
+                "steering": self.steering_enabled,
             }
+            if self.steering_enabled and self.steering_doc is not None:
+                document["steering_epoch"] = self.steering_doc.epoch
+                document["steering_version"] = self.steering_doc.version
+                document["converged"] = self.steering_doc.converged
+            return document
 
     def metrics_payload(self) -> dict:
         """``GET /metrics`` document (``repro-metrics/v1``)."""
@@ -526,6 +662,15 @@ class _IngestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, service.scores_payload(k=k, measure=measure))
             except UnknownMeasureError as exc:
                 self._send_json(400, {"error": "unknown-measure", "detail": str(exc)})
+            return
+        if path == "/steering":
+            document = service.steering_payload()
+            if document is None:
+                self._send_json(
+                    404, {"error": "not-found", "detail": "steering disabled"}
+                )
+            else:
+                self._send_json(200, document)
             return
         if path == "/manifest":
             self._send_json(200, service.manifest_payload())

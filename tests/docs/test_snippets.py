@@ -20,7 +20,10 @@ _BLOCK_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 
 
 def _doc_pages():
-    pages = [os.path.join(REPO_ROOT, "README.md")]
+    pages = [
+        os.path.join(REPO_ROOT, "README.md"),
+        os.path.join(REPO_ROOT, "EXPERIMENTS.md"),
+    ]
     pages.extend(sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md"))))
     return pages
 
@@ -46,6 +49,8 @@ def test_some_pages_carry_executable_snippets():
     assert "README.md" in covered
     assert "OBSERVABILITY.md" in covered
     assert "MEASURES.md" in covered
+    assert "SERVICE.md" in covered
+    assert "EXPERIMENTS.md" in covered
 
 
 @pytest.mark.parametrize(

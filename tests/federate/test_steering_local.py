@@ -1,0 +1,71 @@
+"""Steering artifacts are store-local: federation must never move them.
+
+A steering document describes one daemon's live fit over its own
+committed population; replicated into another store it would be a lie
+about that store's evidence.  Two layers enforce this:
+
+* ``plan_sync`` refuses outright any source manifest that *lists* a
+  store-local file (a structurally broken manifest, not a skippable
+  entry);
+* a real federation of a steered store's directory copies only shard
+  archives -- ``steering.json``, ``steering_log.jsonl`` and the ingest
+  WAL stay behind even though they sit right next to the shards.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.federate import FederationError, LocalSource, federate_stores
+from repro.federate.merge import plan_sync
+from repro.serve.steering import STORE_LOCAL_FILES
+from repro.store import ShardStore
+from repro.store.manifest import ShardEntry
+
+from tests.conftest import build_synthetic_store
+
+
+@pytest.fixture()
+def steered_store(tmp_path):
+    """A store that looks like a steering daemon's directory: committed
+    shards plus the three store-local files."""
+    store, _ = build_synthetic_store(
+        str(tmp_path / "steered"), k=3, n_runs=24, n_preds=4, seed=5
+    )
+    for name in sorted(STORE_LOCAL_FILES):
+        with open(os.path.join(store.directory, name), "w", encoding="utf-8") as f:
+            f.write("{}\n")
+    return store
+
+
+@pytest.mark.parametrize("name", sorted(STORE_LOCAL_FILES))
+def test_plan_sync_refuses_manifest_listing_store_local_file(
+    tmp_path, steered_store, name
+):
+    dest = ShardStore.create_like(str(tmp_path / "dest"), steered_store.manifest)
+    poisoned = steered_store.manifest
+    poisoned.shards.append(
+        ShardEntry(filename=name, n_runs=1, num_failing=0, seed_start=10_000)
+    )
+    source = LocalSource(steered_store.directory)
+    with pytest.raises(FederationError) as excinfo:
+        plan_sync(dest.manifest, [(source, poisoned)])
+    assert name in str(excinfo.value)
+    assert "never replicated" in str(excinfo.value)
+
+
+def test_federation_leaves_steering_files_behind(tmp_path, steered_store):
+    dest = ShardStore.create_like(str(tmp_path / "dest"), steered_store.manifest)
+    report = federate_stores([LocalSource(steered_store.directory)], dest)
+    assert report.clean
+    assert len(report.pulled) == steered_store.n_shards
+
+    merged = ShardStore.open(dest.directory)
+    assert merged.n_runs == steered_store.n_runs
+    dest_files = set(os.listdir(dest.directory))
+    assert not dest_files & STORE_LOCAL_FILES
+    # ... while the source, of course, still has all three.
+    assert STORE_LOCAL_FILES <= set(os.listdir(steered_store.directory))

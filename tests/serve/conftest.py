@@ -33,14 +33,20 @@ def full_plan():
 
 
 def make_service(
-    directory, subject, program, plan, batch_runs=20, max_buffered=100_000
+    directory, subject, program, plan, batch_runs=20, max_buffered=100_000,
+    **service_kwargs,
 ):
-    """A fresh store + service over ``directory``."""
+    """A fresh store + service over ``directory``.
+
+    Extra keyword arguments pass through to :class:`CollectionService`
+    (steering knobs, stopping policy, ...).
+    """
     store = ShardStore.open_or_create(
         str(directory), subject.name, program.table, plan
     )
     service = CollectionService(
-        store, subject, batch_runs=batch_runs, max_buffered=max_buffered
+        store, subject, batch_runs=batch_runs, max_buffered=max_buffered,
+        **service_kwargs,
     )
     return store, service
 
