@@ -22,11 +22,12 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Dict, Type
+from typing import Callable, Dict
 
 from repro.core import measures
 from repro.core.elimination import DiscardStrategy
 from repro.core.truth import cooccurrence_table
+from repro.factory.subjects import corpus_subjects
 from repro.harness.experiment import Experiment, run_experiment
 from repro.harness.tables import format_predictor_table, format_summary_table
 from repro.subjects.base import Subject
@@ -36,14 +37,18 @@ from repro.subjects.exif import ExifSubject
 from repro.subjects.moss import MossSubject
 from repro.subjects.rhythmbox import RhythmboxSubject
 
-#: All registered subjects, keyed by CLI name.
-SUBJECTS: Dict[str, Type[Subject]] = {
+#: All registered subjects, keyed by CLI name: the five hand-built
+#: analogues plus every factory-made corpus bug.  Values are zero-arg
+#: constructors (classes for the builtins, corpus entries for the
+#: factory), so ``SUBJECTS[name]()`` is uniform.
+SUBJECTS: Dict[str, Callable[[], Subject]] = {
     "moss": MossSubject,
     "ccrypt": CcryptSubject,
     "bc": BcSubject,
     "exif": ExifSubject,
     "rhythmbox": RhythmboxSubject,
 }
+SUBJECTS.update(corpus_subjects())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,8 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
     lister = sub.add_parser("list", help="list available subject programs")
     lister.add_argument(
         "--json", action="store_true",
-        help="machine-readable output: one JSON document with name, bug "
-        "ids and default trial budget per subject",
+        help="machine-readable output: one JSON document with name, kind "
+        "(builtin or factory), bug ids, mutation class, site/predicate "
+        "counts and default trial budget per subject",
     )
 
     run = sub.add_parser("run", help="run one bug-isolation experiment")
@@ -477,20 +483,27 @@ def main(argv=None) -> int:
         if args.json:
             import json
 
-            document = [
-                {
-                    "name": name,
-                    "bug_ids": list(SUBJECTS[name]().bug_ids),
-                    "bug_count": len(SUBJECTS[name]().bug_ids),
-                    "trial_budget": SUBJECTS[name]().trial_budget,
-                }
-                for name in sorted(SUBJECTS)
-            ]
+            document = []
+            for name in sorted(SUBJECTS):
+                subject = SUBJECTS[name]()
+                program = subject.build_program()
+                document.append(
+                    {
+                        "name": name,
+                        "kind": subject.kind,
+                        "bug_ids": list(subject.bug_ids),
+                        "bug_count": len(subject.bug_ids),
+                        "trial_budget": subject.trial_budget,
+                        "n_sites": program.table.n_sites,
+                        "n_predicates": program.table.n_predicates,
+                        "mutation_class": getattr(subject, "mutation_class", None),
+                    }
+                )
             print(json.dumps(document, indent=2, sort_keys=True))
             return 0
         for name in sorted(SUBJECTS):
             subject = SUBJECTS[name]()
-            print(f"{name:<12} bugs: {', '.join(subject.bug_ids)}")
+            print(f"{name:<16} kind: {subject.kind:<8} bugs: {', '.join(subject.bug_ids)}")
         return 0
 
     if args.command == "bench":
@@ -609,7 +622,6 @@ def _serve(args) -> int:
 
     from repro import obs
     from repro.harness.experiment import build_plan
-    from repro.instrument.tracer import instrument_source
     from repro.serve import CollectionService, FeedbackServer
     from repro.store import ShardStore
     from repro.store.faults import FaultInjector
@@ -639,7 +651,7 @@ def _serve(args) -> int:
         return 2
 
     subject = SUBJECTS[subject_name]()
-    program = instrument_source(subject.source(), subject.name)
+    program = subject.build_program()
     plan = build_plan(
         subject,
         program,
@@ -712,7 +724,6 @@ def _serve(args) -> int:
 def _submit(args) -> int:
     """Run trials, spool their reports, and drain the spool to a server."""
     from repro.harness.experiment import build_plan
-    from repro.instrument.tracer import instrument_source
     from repro.serve import (
         ReportSpool,
         drain_spool,
@@ -729,7 +740,7 @@ def _submit(args) -> int:
 
     subject = SUBJECTS[args.subject]()
     runs = args.runs if args.runs is not None else subject.trial_budget
-    program = instrument_source(subject.source(), subject.name)
+    program = subject.build_program()
     plan = build_plan(
         subject,
         program,
@@ -897,7 +908,6 @@ def _collect(args) -> int:
     """Append shards for a subject to a store directory."""
     from repro.harness.experiment import build_plan
     from repro.harness.parallel import run_trials_sharded
-    from repro.instrument.tracer import instrument_source
     from repro.store import ShardStore
 
     code, faults = _cli_faults(args)
@@ -907,7 +917,7 @@ def _collect(args) -> int:
     subject = SUBJECTS[args.subject]()
     if args.runs is None:
         args.runs = subject.trial_budget
-    program = instrument_source(subject.source(), subject.name)
+    program = subject.build_program()
     plan = build_plan(
         subject,
         program,
@@ -973,15 +983,14 @@ def _bakeoff(args) -> int:
     """Run the measure bake-off matrix and report / gate the results."""
     import json
 
-    from repro.harness.bakeoff import DEFAULT_RUNS, compare_to_baseline, run_bakeoff
+    from repro.harness.bakeoff import compare_to_baseline, run_bakeoff
     from repro.harness.tables import format_bakeoff_table
 
-    runs = args.runs if args.runs is not None else DEFAULT_RUNS
     document = run_bakeoff(
         SUBJECTS,
         subject_names=args.subjects,
         measure_names=args.measures,
-        runs=runs,
+        runs=args.runs,
         seed=args.seed,
         jobs=args.jobs,
     )

@@ -206,7 +206,7 @@ class BugSite:
     line: int
 
 
-def bug_sites_from_source(source: str) -> List[BugSite]:
+def bug_sites_from_source(source: str, function_prefix: str = "") -> List[BugSite]:
     """Statically extract every ``record_bug("<id>")`` call site.
 
     Walks the subject's AST tracking the enclosing function, so the
@@ -214,6 +214,10 @@ def bug_sites_from_source(source: str) -> List[BugSite]:
     :class:`~repro.core.predicates.Site` records the instrumentation
     derives from the *same* source text.  Only string-literal bug ids are
     recognised (all subjects use literals); dynamic ids are skipped.
+
+    ``function_prefix`` mirrors the instrumenter's option of the same
+    name: multi-module factory subjects qualify every function name with
+    its module so sites from different modules never collide.
 
     Returns sites in source order.
     """
@@ -224,7 +228,7 @@ def bug_sites_from_source(source: str) -> List[BugSite]:
         for child in ast.iter_child_nodes(node):
             scope = function
             if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                scope = child.name
+                scope = function_prefix + child.name
             if isinstance(child, ast.Call):
                 callee = child.func
                 name = callee.id if isinstance(callee, ast.Name) else (
@@ -245,7 +249,7 @@ def bug_sites_from_source(source: str) -> List[BugSite]:
                     )
             walk(child, scope)
 
-    walk(tree, "<module>")
+    walk(tree, function_prefix + "<module>")
     return sites
 
 

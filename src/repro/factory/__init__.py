@@ -1,0 +1,46 @@
+"""Real-world subject factory.
+
+Turns any importable Python package -- a stdlib module, a pip-installed
+library, or one of the vendored corpus packages -- into a first-class
+:class:`~repro.subjects.base.Subject`:
+
+* :mod:`repro.factory.loader` instruments every module of a package
+  into one shared predicate table and executes the result behind a
+  temporary import hook, so cross-module imports resolve to the
+  instrumented code;
+* :mod:`repro.factory.mutate` deterministically injects one of four
+  classic bug classes (operator swap, off-by-one, negated condition,
+  boundary relaxation), stamping the mutation with a ``record_bug``
+  call so the existing ground-truth grading works unchanged;
+* :mod:`repro.factory.subjects` packages the two into
+  :class:`~repro.factory.subjects.FactorySubject` instances with
+  auto-derived trial budgets, and seeds the registry with a corpus of
+  mutation-injected bugs in vendored stdlib-scale packages.
+"""
+
+from repro.factory.loader import (
+    PackageProgram,
+    instrument_package,
+    package_modules,
+    pristine_namespace,
+)
+from repro.factory.mutate import (
+    MUTATION_CLASSES,
+    MutationSpec,
+    apply_mutation,
+    count_candidates,
+)
+from repro.factory.subjects import FactorySubject, corpus_subjects
+
+__all__ = [
+    "PackageProgram",
+    "instrument_package",
+    "package_modules",
+    "pristine_namespace",
+    "MUTATION_CLASSES",
+    "MutationSpec",
+    "apply_mutation",
+    "count_candidates",
+    "FactorySubject",
+    "corpus_subjects",
+]

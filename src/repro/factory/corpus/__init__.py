@@ -1,0 +1,252 @@
+"""The seeded factory corpus: vendored packages, generators, bug specs.
+
+The corpus packages (``wrapx``, ``jsonscan``, ``csvlite``) live in this
+directory as plain source files.  They are **subject material**: the
+factory loader reads their text and executes it under the synthetic
+module names the sources import each other by (``jsonscan.scanner``,
+not ``repro.factory.corpus.jsonscan.scanner``); nothing in
+:mod:`repro` imports them directly.
+
+Each :class:`CorpusBug` pins one deterministic mutation.  The
+occurrence indices were tuned empirically so every bug has a failure
+rate strictly inside ``(0, 1)`` over its generator's input distribution
+-- neither an equivalent mutant nor an always-failing one -- which is
+what makes statistical isolation both possible and non-trivial.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.factory.mutate import MutationSpec
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: Relative source files per package, root module first.
+_PACKAGE_FILES: Dict[str, Dict[str, str]] = {
+    "wrapx": {"wrapx": "wrapx.py"},
+    "jsonscan": {
+        "jsonscan": os.path.join("jsonscan", "__init__.py"),
+        "jsonscan.scanner": os.path.join("jsonscan", "scanner.py"),
+    },
+    "csvlite": {
+        "csvlite": os.path.join("csvlite", "__init__.py"),
+        "csvlite.reader": os.path.join("csvlite", "reader.py"),
+        "csvlite.writer": os.path.join("csvlite", "writer.py"),
+    },
+}
+
+
+def corpus_packages() -> Tuple[str, ...]:
+    """Names of the vendored corpus packages."""
+    return tuple(sorted(_PACKAGE_FILES))
+
+
+def corpus_sources(package: str) -> Dict[str, str]:
+    """Read ``{module name: source}`` for one vendored package."""
+    try:
+        files = _PACKAGE_FILES[package]
+    except KeyError:
+        raise KeyError(
+            f"unknown corpus package {package!r}; have {corpus_packages()}"
+        ) from None
+    sources: Dict[str, str] = {}
+    for module, rel in files.items():
+        with open(os.path.join(_HERE, rel), encoding="utf-8") as fh:
+            sources[module] = fh.read()
+    return sources
+
+
+# ----------------------------------------------------------------------
+# Input generators (module-level functions: picklable across the
+# multiprocessing collection paths)
+# ----------------------------------------------------------------------
+
+_ALPHA = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _word(rng: random.Random, lo: int = 1, hi: int = 12) -> str:
+    return "".join(rng.choice(_ALPHA) for _ in range(rng.randint(lo, hi)))
+
+
+def wrapx_job(rng: random.Random) -> Dict[str, object]:
+    """A random formatting job for the ``wrapx`` package."""
+    parts = []
+    for _ in range(rng.randint(1, 30)):
+        roll = rng.random()
+        if roll < 0.05:
+            parts.append(_word(rng, 20, 60))  # forces long-word breaking
+        else:
+            parts.append(_word(rng))
+        if rng.random() < 0.12:
+            parts.append("\n" + " " * rng.randint(0, 6))
+        elif rng.random() < 0.06:
+            parts.append("\t")
+        else:
+            parts.append(" ")
+    text = "".join(parts)
+    op = rng.choice(["wrap", "wrap", "fill", "dedent", "indent", "shorten"])
+    return {
+        "op": op,
+        "text": text,
+        "width": rng.randint(5, 40),
+        "prefix": rng.choice(["  ", "> ", "\t", "* "]),
+    }
+
+
+def _json_value(rng: random.Random, depth: int):
+    roll = rng.random()
+    if depth <= 0 or roll < 0.45:
+        leaf = rng.random()
+        if leaf < 0.35:
+            if rng.random() < 0.5:
+                return rng.randint(-9999, 9999)
+            return rng.randint(0, 9)
+        if leaf < 0.6:
+            return round(rng.uniform(-100, 100), rng.randint(1, 3))
+        if leaf < 0.85:
+            chars = []
+            for _ in range(rng.randint(0, 10)):
+                r = rng.random()
+                if r < 0.08:
+                    chars.append(rng.choice(['"', "\\", "\n", "\t", "\b"]))
+                elif r < 0.12:
+                    chars.append(chr(rng.randint(0x20, 0x2FF)))
+                else:
+                    chars.append(rng.choice(_ALPHA))
+            return "".join(chars)
+        return rng.choice([True, False, None])
+    if roll < 0.75:
+        return [_json_value(rng, depth - 1) for _ in range(rng.randint(0, 5))]
+    return {
+        _word(rng, 1, 8): _json_value(rng, depth - 1)
+        for _ in range(rng.randint(0, 5))
+    }
+
+
+def jsonscan_job(rng: random.Random) -> Dict[str, object]:
+    """A random parse/minify job for the ``jsonscan`` package."""
+    import json as _json
+
+    value = _json_value(rng, rng.randint(1, 4))
+    kwargs = {}
+    if rng.random() < 0.3:
+        kwargs["indent"] = rng.randint(1, 4)
+    elif rng.random() < 0.3:
+        kwargs["separators"] = (", ", ": ")
+    text = _json.dumps(value, **kwargs)
+    op = "parse" if rng.random() < 0.7 else "minify"
+    return {"op": op, "text": text}
+
+
+def _cell(rng: random.Random, delimiter: str) -> str:
+    chars = []
+    for _ in range(rng.randint(0, 8)):
+        r = rng.random()
+        if r < 0.08:
+            chars.append(delimiter)
+        elif r < 0.14:
+            chars.append('"')
+        elif r < 0.18:
+            chars.append("\n")
+        elif r < 0.24:
+            chars.append(" ")
+        else:
+            chars.append(rng.choice(_ALPHA + "0123456789"))
+    return "".join(chars)
+
+
+def _render_for_parse(rows, delimiter: str) -> str:
+    """A generator-local renderer matching csvlite.writer semantics."""
+    lines = []
+    for row in rows:
+        cells = []
+        for cell in row:
+            structural = any(
+                ch == delimiter or ch == '"' or ch in "\n\r" for ch in cell
+            )
+            padded = cell != "" and (cell[0] == " " or cell[-1] == " ")
+            if structural or padded:
+                cells.append('"' + cell.replace('"', '""') + '"')
+            else:
+                cells.append(cell)
+        lines.append(delimiter.join(cells))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def csvlite_job(rng: random.Random) -> Dict[str, object]:
+    """A random csv job for the ``csvlite`` package."""
+    delimiter = rng.choice([",", ";", "|", "\t"])
+    rows = [
+        [_cell(rng, delimiter) for _ in range(rng.randint(1, 5))]
+        for _ in range(rng.randint(1, 6))
+    ]
+    roll = rng.random()
+    if roll < 0.4:
+        op = "roundtrip"
+    elif roll < 0.6:
+        op = "render"
+    elif roll < 0.7:
+        op = "widths"
+    else:
+        op = "parse"
+    job: Dict[str, object] = {"op": op, "delimiter": delimiter, "rows": rows}
+    if op == "parse":
+        job["text"] = _render_for_parse(rows, delimiter)
+    return job
+
+
+GENERATORS = {
+    "wrapx": wrapx_job,
+    "jsonscan": jsonscan_job,
+    "csvlite": csvlite_job,
+}
+
+
+# ----------------------------------------------------------------------
+# The seeded bug corpus
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CorpusBug:
+    """One seeded bug: a subject name, its package, and the mutation."""
+
+    name: str
+    package: str
+    spec: MutationSpec
+
+
+def _bug(name: str, package: str, module: str, operator: str, occ: int) -> CorpusBug:
+    return CorpusBug(
+        name=name,
+        package=package,
+        spec=MutationSpec(
+            bug_id=name, module=module, operator=operator, occurrence=occ
+        ),
+    )
+
+
+#: The ``>=10``-bug seeded corpus, covering all four mutation classes
+#: across all three packages.  Occurrence indices are pinned (see module
+#: docstring); tests/factory/test_corpus.py asserts every bug's failure
+#: rate stays inside (0, 1) and that each is isolated at rank <= 5.
+CORPUS_BUGS: Tuple[CorpusBug, ...] = (
+    # Trailing comments give the measured failure rate over 150 trials
+    # at full sampling (seeds 5_000_000..5_000_149).
+    _bug("wrapx-swap1", "wrapx", "wrapx", "operator-swap", 2),  # 46/150
+    _bug("wrapx-off1", "wrapx", "wrapx", "off-by-one", 3),  # 32/150
+    _bug("wrapx-negc1", "wrapx", "wrapx", "negated-condition", 5),  # 32/150
+    _bug("wrapx-brel1", "wrapx", "wrapx", "boundary-relaxation", 3),  # 36/150
+    _bug("jsonscan-swap1", "jsonscan", "jsonscan.scanner", "operator-swap", 3),  # 37/150
+    _bug("jsonscan-off1", "jsonscan", "jsonscan.scanner", "off-by-one", 28),  # 15/150
+    _bug("jsonscan-negc1", "jsonscan", "jsonscan", "negated-condition", 4),  # 33/150
+    _bug("jsonscan-brel1", "jsonscan", "jsonscan.scanner", "boundary-relaxation", 4),  # 24/150
+    _bug("csvlite-swap1", "csvlite", "csvlite.writer", "operator-swap", 0),  # 92/150
+    _bug("csvlite-off1", "csvlite", "csvlite.writer", "off-by-one", 0),  # 52/150
+    _bug("csvlite-negc1", "csvlite", "csvlite.writer", "negated-condition", 2),  # 28/150
+    _bug("csvlite-brel1", "csvlite", "csvlite", "boundary-relaxation", 0),  # 17/150
+)

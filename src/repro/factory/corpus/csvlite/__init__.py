@@ -1,0 +1,50 @@
+"""csvlite: a vendored csv-scale delimited-text library.
+
+Subject-corpus material for the factory: a quote-aware reader state
+machine (:mod:`csvlite.reader`), a minimal-quoting writer
+(:mod:`csvlite.writer`), and round-trip entry points here.  Executed by
+the factory loader, never imported as part of :mod:`repro` itself.
+"""
+
+from csvlite import reader, writer
+
+
+def parse(text, delimiter=",", quotechar='"'):
+    """Parse delimited text into a list of rows."""
+    return reader.read_rows(text, delimiter, quotechar)
+
+
+def render(rows, delimiter=",", quotechar='"'):
+    """Render rows back into delimited text."""
+    return writer.write_rows(rows, delimiter, quotechar)
+
+
+def roundtrip(rows, delimiter=",", quotechar='"'):
+    """Render then re-parse (the classic writer/reader contract)."""
+    return parse(render(rows, delimiter, quotechar), delimiter, quotechar)
+
+
+def column_widths(rows):
+    """Maximum cell width per column across ``rows``."""
+    widths = []
+    for row in rows:
+        for idx, cell in enumerate(row):
+            if idx >= len(widths):
+                widths.append(0)
+            if len(cell) > widths[idx]:
+                widths[idx] = len(cell)
+    return widths
+
+
+def main(job):
+    """Corpus entry point: dispatch one csv job."""
+    op = job["op"]
+    if op == "parse":
+        return parse(job["text"], job["delimiter"])
+    if op == "render":
+        return render(job["rows"], job["delimiter"])
+    if op == "roundtrip":
+        return roundtrip(job["rows"], job["delimiter"])
+    if op == "widths":
+        return column_widths(job["rows"])
+    raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,98 @@
+"""csvlite.reader: the quote-aware parsing state machine."""
+
+START = 0
+IN_FIELD = 1
+IN_QUOTED = 2
+QUOTE_IN_QUOTED = 3
+
+
+class CsvError(ValueError):
+    pass
+
+
+def read_rows(text, delimiter=",", quotechar='"'):
+    """Parse delimited text into rows of string cells.
+
+    Quoted cells may contain the delimiter, newlines, and doubled
+    quote characters; a quote inside an unquoted cell is literal.
+    """
+    rows = []
+    row = []
+    cell = []
+    state = START
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if state == START:
+            if ch == quotechar:
+                state = IN_QUOTED
+            elif ch == delimiter:
+                row.append("")
+            elif ch == "\n":
+                row.append("")
+                rows.append(row)
+                row = []
+            else:
+                cell.append(ch)
+                state = IN_FIELD
+        elif state == IN_FIELD:
+            if ch == delimiter:
+                row.append("".join(cell))
+                cell = []
+                state = START
+            elif ch == "\n":
+                row.append("".join(cell))
+                cell = []
+                rows.append(row)
+                row = []
+                state = START
+            else:
+                cell.append(ch)
+        elif state == IN_QUOTED:
+            if ch == quotechar:
+                state = QUOTE_IN_QUOTED
+            else:
+                cell.append(ch)
+        else:  # QUOTE_IN_QUOTED
+            if ch == quotechar:
+                cell.append(quotechar)
+                state = IN_QUOTED
+            elif ch == delimiter:
+                row.append("".join(cell))
+                cell = []
+                state = START
+            elif ch == "\n":
+                row.append("".join(cell))
+                cell = []
+                rows.append(row)
+                row = []
+                state = START
+            else:
+                raise CsvError(f"unexpected {ch!r} after closing quote")
+        i += 1
+    if state == IN_QUOTED:
+        raise CsvError("unterminated quoted cell")
+    if state in (IN_FIELD, QUOTE_IN_QUOTED):
+        row.append("".join(cell))
+    elif state == START and row:
+        row.append("")
+    if row:
+        rows.append(row)
+    return rows
+
+
+def sniff_delimiter(text, candidates=",;\t|"):
+    """Guess the delimiter: the candidate splitting rows most evenly."""
+    best = candidates[0]
+    best_score = -1.0
+    for cand in candidates:
+        counts = [line.count(cand) for line in text.split("\n") if line]
+        if not counts or min(counts) == 0:
+            continue
+        spread = max(counts) - min(counts)
+        score = min(counts) - spread * 0.5
+        if score > best_score:
+            best_score = score
+            best = cand
+    return best

@@ -1,0 +1,41 @@
+"""csvlite.writer: minimal-quoting serialisation."""
+
+
+def needs_quoting(cell, delimiter, quotechar):
+    """A cell needs quotes when it contains structure characters."""
+    if cell == "":
+        return False
+    for ch in cell:
+        if ch == delimiter or ch == quotechar or ch == "\n" or ch == "\r":
+            return True
+    if cell[0] == " " or cell[-1] == " ":
+        return True
+    return False
+
+
+def quote_cell(cell, quotechar):
+    """Wrap in quotes, doubling embedded quote characters."""
+    out = [quotechar]
+    for ch in cell:
+        if ch == quotechar:
+            out.append(quotechar)
+            out.append(quotechar)
+        else:
+            out.append(ch)
+    out.append(quotechar)
+    return "".join(out)
+
+
+def write_cell(cell, delimiter, quotechar):
+    if needs_quoting(cell, delimiter, quotechar):
+        return quote_cell(cell, quotechar)
+    return cell
+
+
+def write_rows(rows, delimiter=",", quotechar='"'):
+    """Render rows as delimited text (trailing newline included)."""
+    lines = []
+    for row in rows:
+        rendered = [write_cell(cell, delimiter, quotechar) for cell in row]
+        lines.append(delimiter.join(rendered))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,112 @@
+"""jsonscan: a vendored json.scanner-scale JSON parser.
+
+Subject-corpus material for the factory: a recursive-descent parser
+over the token stream produced by :mod:`jsonscan.scanner`.  The
+cross-module import is the point -- factory programs must share one
+site table across modules.  Executed by the factory loader, never
+imported as part of :mod:`repro` itself.
+"""
+
+from jsonscan import scanner
+
+
+class ParseError(ValueError):
+    pass
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return ("eof", None)
+
+    def advance(self):
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, kind):
+        tok = self.advance()
+        if tok[0] != kind:
+            raise ParseError(f"expected {kind}, got {tok[0]}")
+        return tok
+
+    def parse_value(self):
+        kind, value = self.peek()
+        if kind in ("number", "string", "literal"):
+            self.advance()
+            return value
+        if kind == "lbracket":
+            return self.parse_array()
+        if kind == "lbrace":
+            return self.parse_object()
+        raise ParseError(f"unexpected token {kind}")
+
+    def parse_array(self):
+        self.expect("lbracket")
+        items = []
+        if self.peek()[0] == "rbracket":
+            self.advance()
+            return items
+        while True:
+            items.append(self.parse_value())
+            kind, _ = self.advance()
+            if kind == "rbracket":
+                return items
+            if kind != "comma":
+                raise ParseError("expected , or ] in array")
+
+    def parse_object(self):
+        self.expect("lbrace")
+        obj = {}
+        if self.peek()[0] == "rbrace":
+            self.advance()
+            return obj
+        while True:
+            key_tok = self.expect("string")
+            self.expect("colon")
+            obj[key_tok[1]] = self.parse_value()
+            kind, _ = self.advance()
+            if kind == "rbrace":
+                return obj
+            if kind != "comma":
+                raise ParseError("expected , or } in object")
+
+
+def parse(text):
+    """Parse a JSON document into Python values."""
+    tokens = scanner.tokenize(text)
+    parser = _Parser(tokens)
+    value = parser.parse_value()
+    if parser.peek()[0] != "eof":
+        raise ParseError("trailing data after document")
+    return value
+
+
+def minify(text):
+    """Re-serialise a document with no whitespace (token round-trip)."""
+    out = []
+    for kind, value in scanner.tokenize(text):
+        if kind == "string":
+            out.append(scanner.quote_string(value))
+        elif kind == "number":
+            out.append(scanner.format_number(value))
+        elif kind == "literal":
+            out.append({None: "null", True: "true", False: "false"}[value])
+        else:
+            out.append(scanner.PUNCT_TEXT[kind])
+    return "".join(out)
+
+
+def main(job):
+    """Corpus entry point: parse or minify one document."""
+    op = job["op"]
+    if op == "parse":
+        return parse(job["text"])
+    if op == "minify":
+        return minify(job["text"])
+    raise ValueError(f"unknown op {op!r}")

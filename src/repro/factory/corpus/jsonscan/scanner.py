@@ -1,0 +1,148 @@
+"""jsonscan.scanner: the tokenizer half of the vendored JSON parser."""
+
+WHITESPACE = " \t\n\r"
+
+PUNCT = {
+    "{": "lbrace",
+    "}": "rbrace",
+    "[": "lbracket",
+    "]": "rbracket",
+    ":": "colon",
+    ",": "comma",
+}
+
+PUNCT_TEXT = {kind: ch for ch, kind in PUNCT.items()}
+
+ESCAPES = {
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+}
+
+_REVERSE_ESCAPES = {char: "\\" + key for key, char in ESCAPES.items() if key != "/"}
+
+
+class ScanError(ValueError):
+    pass
+
+
+def scan_string(text, pos):
+    """Scan a quoted string starting at ``pos`` (the opening quote)."""
+    chars = []
+    i = pos + 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == '"':
+            return "".join(chars), i + 1
+        if ch == "\\":
+            if i + 1 >= n:
+                raise ScanError("truncated escape")
+            esc = text[i + 1]
+            if esc == "u":
+                if i + 6 > n:
+                    raise ScanError("truncated unicode escape")
+                code = int(text[i + 2 : i + 6], 16)
+                chars.append(chr(code))
+                i += 6
+                continue
+            if esc not in ESCAPES:
+                raise ScanError(f"bad escape \\{esc}")
+            chars.append(ESCAPES[esc])
+            i += 2
+            continue
+        chars.append(ch)
+        i += 1
+    raise ScanError("unterminated string")
+
+
+def scan_number(text, pos):
+    """Scan an integer or decimal number starting at ``pos``."""
+    i = pos
+    n = len(text)
+    sign = 1
+    if text[i] == "-":
+        sign = -1
+        i += 1
+    if i >= n or not text[i].isdigit():
+        raise ScanError("bad number")
+    value = 0
+    while i < n and text[i].isdigit():
+        value = value * 10 + (ord(text[i]) - 48)
+        i += 1
+    if i < n and text[i] == ".":
+        i += 1
+        frac = 0
+        scale = 1
+        if i >= n or not text[i].isdigit():
+            raise ScanError("bad fraction")
+        while i < n and text[i].isdigit():
+            frac = frac * 10 + (ord(text[i]) - 48)
+            scale *= 10
+            i += 1
+        return sign * (value + frac / scale), i
+    return sign * value, i
+
+
+def tokenize(text):
+    """Tokenize a JSON document into ``(kind, value)`` pairs."""
+    tokens = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in WHITESPACE:
+            i += 1
+            continue
+        if ch in PUNCT:
+            tokens.append((PUNCT[ch], None))
+            i += 1
+            continue
+        if ch == '"':
+            value, i = scan_string(text, i)
+            tokens.append(("string", value))
+            continue
+        if ch == "-" or ch.isdigit():
+            value, i = scan_number(text, i)
+            tokens.append(("number", value))
+            continue
+        if text.startswith("true", i):
+            tokens.append(("literal", True))
+            i += 4
+            continue
+        if text.startswith("false", i):
+            tokens.append(("literal", False))
+            i += 5
+            continue
+        if text.startswith("null", i):
+            tokens.append(("literal", None))
+            i += 4
+            continue
+        raise ScanError(f"unexpected character {ch!r} at {i}")
+    return tokens
+
+
+def quote_string(value):
+    """Serialise a string with minimal escaping."""
+    out = ['"']
+    for ch in value:
+        if ch in _REVERSE_ESCAPES:
+            out.append(_REVERSE_ESCAPES[ch])
+        elif ord(ch) < 32:
+            out.append("\\u%04x" % ord(ch))
+        else:
+            out.append(ch)
+    out.append('"')
+    return "".join(out)
+
+
+def format_number(value):
+    """Serialise a number the way :func:`tokenize` produced it."""
+    if isinstance(value, int):
+        return str(value)
+    return repr(value)

@@ -1,0 +1,163 @@
+"""wrapx: a vendored textwrap-scale paragraph formatting library.
+
+Subject-corpus material for the factory: a self-contained,
+zero-dependency re-implementation of greedy paragraph wrapping with
+indent/dedent/shorten helpers.  Executed by the factory loader, never
+imported as part of :mod:`repro` itself.
+"""
+
+TABSIZE = 8
+DEFAULT_WIDTH = 70
+PLACEHOLDER = " [...]"
+
+
+def expand_tabs(text, tabsize=TABSIZE):
+    """Replace tabs with spaces up to the next tab stop."""
+    out = []
+    col = 0
+    for ch in text:
+        if ch == "\t":
+            pad = tabsize - col % tabsize
+            out.append(" " * pad)
+            col += pad
+        elif ch == "\n":
+            out.append(ch)
+            col = 0
+        else:
+            out.append(ch)
+            col += 1
+    return "".join(out)
+
+
+def split_words(text):
+    """Split into words on runs of whitespace (no empty words)."""
+    words = []
+    current = []
+    for ch in text:
+        if ch in " \t\n\r":
+            if current:
+                words.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if current:
+        words.append("".join(current))
+    return words
+
+
+def break_long_word(word, width):
+    """Chop a too-long word into width-sized pieces."""
+    pieces = []
+    start = 0
+    n = len(word)
+    while n - start > width:
+        pieces.append(word[start : start + width])
+        start += width
+    pieces.append(word[start:])
+    return pieces
+
+
+def wrap(text, width=DEFAULT_WIDTH, break_long_words=True):
+    """Greedy-wrap ``text`` into lines at most ``width`` columns wide."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    words = split_words(expand_tabs(text))
+    if break_long_words:
+        flat = []
+        for word in words:
+            if len(word) > width:
+                flat.extend(break_long_word(word, width))
+            else:
+                flat.append(word)
+        words = flat
+    lines = []
+    current = []
+    used = 0
+    for word in words:
+        extra = len(word) if not current else len(word) + 1
+        if used + extra <= width or not current:
+            current.append(word)
+            used += extra
+        else:
+            lines.append(" ".join(current))
+            current = [word]
+            used = len(word)
+    if current:
+        lines.append(" ".join(current))
+    return lines
+
+
+def fill(text, width=DEFAULT_WIDTH):
+    """Wrap and join with newlines."""
+    return "\n".join(wrap(text, width))
+
+
+def dedent(text):
+    """Strip the longest common leading whitespace from all lines."""
+    lines = text.split("\n")
+    margin = None
+    for line in lines:
+        stripped = line.lstrip(" ")
+        if not stripped:
+            continue
+        indent_len = len(line) - len(stripped)
+        if margin is None or indent_len < margin:
+            margin = indent_len
+    if margin is None or margin == 0:
+        return text
+    out = []
+    for line in lines:
+        if line.strip():
+            out.append(line[margin:])
+        else:
+            out.append(line.lstrip(" "))
+    return "\n".join(out)
+
+
+def indent(text, prefix, skip_empty=True):
+    """Prepend ``prefix`` to lines (optionally skipping empty ones)."""
+    out = []
+    for line in text.split("\n"):
+        if skip_empty and not line.strip():
+            out.append(line)
+        else:
+            out.append(prefix + line)
+    return "\n".join(out)
+
+
+def shorten(text, width, placeholder=PLACEHOLDER):
+    """Collapse whitespace and truncate to ``width`` on a word boundary."""
+    words = split_words(text)
+    joined = " ".join(words)
+    if len(joined) <= width:
+        return joined
+    budget = width - len(placeholder)
+    if budget < 1:
+        return placeholder.strip()
+    kept = []
+    used = 0
+    for word in words:
+        extra = len(word) if not kept else len(word) + 1
+        if used + extra > budget:
+            break
+        kept.append(word)
+        used += extra
+    if not kept:
+        return placeholder.strip()
+    return " ".join(kept) + placeholder
+
+
+def main(job):
+    """Corpus entry point: dispatch one formatting job."""
+    op = job["op"]
+    if op == "wrap":
+        return wrap(job["text"], job["width"])
+    if op == "fill":
+        return fill(job["text"], job["width"])
+    if op == "dedent":
+        return dedent(job["text"])
+    if op == "indent":
+        return indent(job["text"], job["prefix"])
+    if op == "shorten":
+        return shorten(job["text"], job["width"])
+    raise ValueError(f"unknown op {op!r}")

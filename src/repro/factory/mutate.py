@@ -1,0 +1,194 @@
+"""Deterministic mutation engine for manufactured bugs.
+
+Four classic bug classes, each a small AST rewrite:
+
+* ``operator-swap``: one arithmetic operator replaced by its dual
+  (``+`` <-> ``-``, ``*`` -> ``+``, ``//``/``/``/``%`` -> their
+  neighbours) -- the classic AOR mutation operator.
+* ``off-by-one``: one integer literal incremented by one.
+* ``negated-condition``: one ``if``/``while`` test wrapped in ``not``.
+* ``boundary-relaxation``: one strict comparison made non-strict or
+  vice versa (``<`` <-> ``<=``, ``>`` <-> ``>=``).
+
+Candidates are enumerated in deterministic AST walk order (source
+order), restricted to code inside functions so ground-truth grading at
+function granularity attributes the bug correctly.  A
+:class:`MutationSpec` therefore pins one bug exactly: (module, class,
+occurrence index) -- no randomness anywhere.
+
+Every applied mutation is stamped with a ``record_bug("<bug-id>")``
+statement immediately before the mutated construct's enclosing
+statement.  The call fires whenever control reaches the mutated code --
+"the exact set of bugs that actually occurred in each run" -- and the
+instrumenter's call-exclusion list keeps it invisible to the isolation
+algorithm, so :mod:`repro.core.truth` grades factory subjects without
+modification.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: Mutation classes in canonical (bakeoff reporting) order.
+MUTATION_CLASSES: Tuple[str, ...] = (
+    "operator-swap",
+    "off-by-one",
+    "negated-condition",
+    "boundary-relaxation",
+)
+
+_SWAP_OPS: Dict[type, type] = {
+    ast.Add: ast.Sub,
+    ast.Sub: ast.Add,
+    ast.Mult: ast.Add,
+    ast.Div: ast.Mult,
+    ast.FloorDiv: ast.Mult,
+    ast.Mod: ast.FloorDiv,
+}
+
+_BOUNDARY_OPS: Dict[type, type] = {
+    ast.Lt: ast.LtE,
+    ast.LtE: ast.Lt,
+    ast.Gt: ast.GtE,
+    ast.GtE: ast.Gt,
+}
+
+
+@dataclass(frozen=True)
+class MutationSpec:
+    """One deterministic mutation: *which* bug, *where*, *what kind*.
+
+    Attributes:
+        bug_id: Ground-truth identifier stamped into the source.
+        module: Dotted name of the module whose source is mutated.
+        operator: One of :data:`MUTATION_CLASSES`.
+        occurrence: 0-based index into the module's candidate list for
+            that operator, in source order.
+    """
+
+    bug_id: str
+    module: str
+    operator: str
+    occurrence: int
+
+
+def _matches(node: ast.AST, operator: str) -> bool:
+    if operator == "operator-swap":
+        return isinstance(node, ast.BinOp) and type(node.op) in _SWAP_OPS
+    if operator == "off-by-one":
+        return isinstance(node, ast.Constant) and type(node.value) is int
+    if operator == "negated-condition":
+        return isinstance(node, (ast.If, ast.While))
+    if operator == "boundary-relaxation":
+        return (
+            isinstance(node, ast.Compare)
+            and len(node.ops) == 1
+            and type(node.ops[0]) in _BOUNDARY_OPS
+        )
+    raise ValueError(f"unknown mutation operator {operator!r}")
+
+
+def _candidates(tree: ast.Module, operator: str) -> List[ast.AST]:
+    """All mutation points for ``operator``, in source order.
+
+    Only code lying in a *function body* qualifies: default argument
+    values, decorators, class-body statements and lambda bodies are
+    excluded, so the ``record_bug`` stamp always lands in the same
+    function whose sites ground-truth grading will mark as faulty.
+    """
+    if operator not in MUTATION_CLASSES:
+        raise ValueError(f"unknown mutation operator {operator!r}")
+    found: List[ast.AST] = []
+
+    def visit(node: ast.AST, inside: bool) -> None:
+        if inside and _matches(node, operator):
+            found.append(node)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Decorators and defaults evaluate in the enclosing scope;
+            # only the body belongs to the new function.
+            for dec in node.decorator_list:
+                visit(dec, inside)
+            visit(node.args, inside)
+            for stmt in node.body:
+                visit(stmt, True)
+        elif isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                visit(stmt, False)
+        elif isinstance(node, ast.Lambda):
+            pass  # no statement anchor for the stamp; never mutate
+        else:
+            for child in ast.iter_child_nodes(node):
+                visit(child, inside)
+
+    visit(tree, False)
+    return found
+
+
+def count_candidates(source: str, operator: str) -> int:
+    """Number of mutation points for ``operator`` in ``source``."""
+    return len(_candidates(ast.parse(source), operator))
+
+
+def _mutate_node(node: ast.AST, operator: str) -> None:
+    if operator == "operator-swap":
+        node.op = _SWAP_OPS[type(node.op)]()
+    elif operator == "off-by-one":
+        node.value = node.value + 1
+    elif operator == "negated-condition":
+        node.test = ast.copy_location(
+            ast.UnaryOp(op=ast.Not(), operand=node.test), node.test
+        )
+    elif operator == "boundary-relaxation":
+        node.ops = [_BOUNDARY_OPS[type(node.ops[0])]()]
+
+
+def _stamp(tree: ast.Module, target: ast.AST, bug_id: str) -> None:
+    """Insert ``record_bug(bug_id)`` before ``target``'s enclosing stmt."""
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+
+    stmt: Optional[ast.AST] = target
+    while stmt is not None and not isinstance(stmt, ast.stmt):
+        stmt = parents.get(stmt)
+    if stmt is None:  # pragma: no cover - candidates always sit in stmts
+        raise ValueError("mutated node has no enclosing statement")
+
+    holder = parents[stmt]
+    stamp = ast.Expr(
+        value=ast.Call(
+            func=ast.Name(id="record_bug", ctx=ast.Load()),
+            args=[ast.Constant(value=bug_id)],
+            keywords=[],
+        )
+    )
+    ast.copy_location(stamp, stmt)
+    for fname, value in ast.iter_fields(holder):
+        if isinstance(value, list) and stmt in value:
+            value.insert(value.index(stmt), stamp)
+            return
+    raise ValueError("enclosing statement not found in any body")  # pragma: no cover
+
+
+def apply_mutation(source: str, spec: MutationSpec) -> str:
+    """Apply one mutation to ``source``; return the mutated source text.
+
+    Deterministic: the same (source, spec) pair always yields the same
+    text.  Raises ``IndexError`` when the occurrence index exceeds the
+    candidate count (specs are validated against their module).
+    """
+    tree = ast.parse(source)
+    cands = _candidates(tree, spec.operator)
+    if spec.occurrence >= len(cands):
+        raise IndexError(
+            f"{spec.operator} has {len(cands)} candidates in {spec.module}; "
+            f"occurrence {spec.occurrence} out of range"
+        )
+    node = cands[spec.occurrence]
+    _mutate_node(node, spec.operator)
+    _stamp(tree, node, spec.bug_id)
+    ast.fix_missing_locations(tree)
+    return ast.unparse(tree)

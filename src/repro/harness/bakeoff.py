@@ -30,9 +30,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core import measures
-from repro.core.truth import bug_sites_from_source, faulty_predicate_mask
+from repro.core.truth import faulty_predicate_mask
 from repro.instrument.sampling import SamplingPlan
-from repro.instrument.tracer import instrument_source
 from repro.store.incremental import SufficientStats
 
 #: Document schema identifier, bumped on layout changes.
@@ -96,22 +95,26 @@ def rank_metrics(
 
 
 def run_bakeoff(
-    subjects: Dict[str, type],
+    subjects: Dict[str, object],
     subject_names: Optional[Sequence[str]] = None,
     measure_names: Optional[Sequence[str]] = None,
-    runs: int = DEFAULT_RUNS,
+    runs: Optional[int] = None,
     seed: int = 0,
     jobs: int = 1,
 ) -> Dict[str, object]:
     """Run the full measure x subject bake-off matrix.
 
     Args:
-        subjects: Name -> subject-class mapping (``repro.cli.SUBJECTS``).
+        subjects: Name -> subject-constructor mapping
+            (``repro.cli.SUBJECTS``; classes or any zero-arg callables).
         subject_names: Subset of subjects to grade (default: all, in
             registry order).
+        runs: Deterministic trials per subject, full observation.  When
+            ``None``, builtin subjects get :data:`DEFAULT_RUNS` and
+            factory subjects follow their auto-derived ``trial_budget``
+            (their failure rates vary too widely for one fixed count).
         measure_names: Subset of measures (default: every registered
             measure, sorted).
-        runs: Deterministic trials per subject, full observation.
         seed: Base trial seed.
         jobs: Worker count for the scoring engine (the measure values go
             through :meth:`AnalysisEngine.score_stats`, so the matrix is
@@ -119,6 +122,9 @@ def run_bakeoff(
 
     Returns:
         A ``repro-bakeoff/v1`` JSON document (see ``docs/MEASURES.md``).
+        When any graded subject is factory-made, the document carries a
+        ``mutation_classes`` section summarising rank-of-first-faulty-site
+        per mutation class for every measure.
     """
     from repro.core.engine import AnalysisEngine
     from repro.harness.runner import run_trials
@@ -131,19 +137,29 @@ def run_bakeoff(
 
     subject_docs: Dict[str, object] = {}
     matrix: Dict[str, Dict[str, Dict[str, object]]] = {m: {} for m in mnames}
+    by_class: Dict[str, List[str]] = {}
     for name in names:
         subject = subjects[name]()
-        source = subject.source()
-        program = instrument_source(source, name)
-        sites = bug_sites_from_source(source)
+        program = subject.build_program()
+        sites = subject.bug_sites()
         faulty = faulty_predicate_mask(program.table, sites)
+        mutation_class = getattr(subject, "mutation_class", None)
+        if mutation_class is not None:
+            by_class.setdefault(mutation_class, []).append(name)
+        n_runs = runs
+        if n_runs is None:
+            n_runs = (
+                subject.trial_budget if subject.kind == "factory" else DEFAULT_RUNS
+            )
         reports, _truth = run_trials(
-            subject, program, runs, SamplingPlan.full(), seed=seed
+            subject, program, n_runs, SamplingPlan.full(), seed=seed
         )
         stats = SufficientStats.from_reports(reports)
         subject_docs[name] = {
             "runs": int(reports.n_runs),
             "failing": int(reports.failed.sum()),
+            "kind": subject.kind,
+            "mutation_class": mutation_class,
             "predicates": int(len(program.table.predicates)),
             "faulty_predicates": int(faulty.sum()),
             "bug_sites": [
@@ -157,9 +173,9 @@ def run_bakeoff(
                 program.table, scoring.measure_values, faulty
             )
 
-    return {
+    document: Dict[str, object] = {
         "schema": BAKEOFF_SCHEMA,
-        "runs": int(runs),
+        "runs": None if runs is None else int(runs),
         "seed": int(seed),
         "sampling": "full",
         "subjects": subject_docs,
@@ -172,6 +188,32 @@ def run_bakeoff(
             }
             for m in mnames
         ],
+    }
+    if by_class:
+        document["mutation_classes"] = {
+            m: {
+                cls: _class_summary(matrix[m], subs)
+                for cls, subs in sorted(by_class.items())
+            }
+            for m in mnames
+        }
+    return document
+
+
+def _class_summary(
+    row: Dict[str, Dict[str, object]], subject_names: List[str]
+) -> Dict[str, object]:
+    """Aggregate one measure's ranks over one mutation class."""
+    ranks = {
+        name: row[name]["rank_of_first_faulty_site"] for name in subject_names
+    }
+    ranked = sorted(r for r in ranks.values() if r is not None)
+    return {
+        "ranks": ranks,
+        "best_rank": ranked[0] if ranked else None,
+        "median_rank": ranked[len(ranked) // 2] if ranked else None,
+        "isolated_at_5": sum(1 for r in ranked if r <= 5),
+        "subjects": len(subject_names),
     }
 
 

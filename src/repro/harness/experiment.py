@@ -26,7 +26,7 @@ from repro.core.reports import ReportSet
 from repro.core.scores import DEFAULT_CONFIDENCE
 from repro.core.truth import GroundTruth
 from repro.instrument.sampling import DEFAULT_RATE, SamplingPlan
-from repro.instrument.tracer import InstrumentedProgram, instrument_source
+from repro.instrument.tracer import InstrumentedProgram
 from repro.instrument.transform import InstrumentationConfig
 from repro.harness.runner import collect_site_means, run_trials, run_trials_steered
 from repro.subjects.base import Subject
@@ -144,12 +144,7 @@ def build_plan(
 def run_experiment(config: Experiment) -> ExperimentResult:
     """Execute the full pipeline for one configuration."""
     started = time.perf_counter()
-    source = config.subject.source()
-    program = instrument_source(
-        source,
-        name=config.subject.name,
-        config=config.instrumentation,
-    )
+    program = config.subject.build_program(config=config.instrumentation)
     plan = build_plan(
         config.subject,
         program,
@@ -211,7 +206,9 @@ def run_experiment(config: Experiment) -> ExperimentResult:
         max_predictors=config.max_predictors,
     )
     wall = time.perf_counter() - started
-    loc = sum(1 for line in source.splitlines() if line.strip())
+    loc = sum(
+        1 for line in config.subject.source().splitlines() if line.strip()
+    )
     return ExperimentResult(
         config=config,
         program=program,

@@ -49,7 +49,6 @@ from repro.core.reports import ReportBuilder, ReportSet
 from repro.core.truth import GroundTruth
 from repro.harness.runner import run_one_trial
 from repro.instrument.sampling import SamplingPlan
-from repro.instrument.tracer import instrument_source
 from repro.instrument.transform import InstrumentationConfig
 from repro.obs import (
     enabled as _obs_enabled,
@@ -134,7 +133,7 @@ def _fork_map_task(payload):
 
 
 def _init_worker(subject: Subject, config: Optional[InstrumentationConfig]) -> None:
-    program = instrument_source(subject.source(), subject.name, config=config)
+    program = subject.build_program(config=config)
     _WORKER["subject"] = subject
     _WORKER["program"] = program
 
@@ -180,7 +179,7 @@ def run_trials_parallel(
         ``(reports, truth)``, run-aligned and ordered by trial index.
     """
     # The parent instruments too, for the predicate table.
-    program = instrument_source(subject.source(), subject.name, config=config)
+    program = subject.build_program(config=config)
     builder = ReportBuilder(program.table)
     truth = GroundTruth(bug_ids=list(subject.bug_ids))
 
@@ -409,7 +408,7 @@ def run_trials_sharded(
 
     injector = FaultInjector(faults if faults is not None else faults_from_env())
 
-    program = instrument_source(subject.source(), subject.name, config=config)
+    program = subject.build_program(config=config)
     store = ShardStore.open_or_create(
         store_dir, subject.name, program.table, plan, config=config
     )

@@ -124,5 +124,10 @@ def crash_stack(exc: BaseException, filename: str) -> Tuple[str, ...]:
     same top-of-stack function" heuristic of Section 6.
     """
     frames = traceback.extract_tb(exc.__traceback__)
-    names = [f.name for f in frames if f.filename == filename]
+    # Prefix match: a multi-module factory program compiles each module
+    # with a filename sharing the package's "<factory:pkg" prefix, and
+    # all of those frames belong to the subject.  Single-module programs
+    # are unaffected (the prefix is the whole filename).
+    prefix = filename.rstrip(">")
+    names = [f.name for f in frames if f.filename.startswith(prefix)]
     return tuple(names) + (type(exc).__name__,)

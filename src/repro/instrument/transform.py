@@ -39,6 +39,11 @@ from repro.core.predicates import PredicateTable, Scheme
 #: Maximum characters kept of an unparsed source snippet in descriptions.
 _DESC_LIMIT = 60
 
+#: ``try``-shaped statements; ``except*`` groups exist on 3.11+ only.
+_TRY_NODES: Tuple[type, ...] = (ast.Try,)
+if hasattr(ast, "TryStar"):  # pragma: no branch - version gate
+    _TRY_NODES = (ast.Try, ast.TryStar)
+
 
 @dataclass(frozen=True)
 class InstrumentationConfig:
@@ -87,6 +92,7 @@ class _FunctionContext:
     assigned: List[str] = field(default_factory=list)
     constants: List[object] = field(default_factory=list)
     instrument: bool = True
+    is_class_body: bool = False
 
     def note_assigned(self, name: str) -> None:
         if name.startswith("_cbi"):
@@ -138,9 +144,15 @@ class Instrumenter:
         self,
         table: Optional[PredicateTable] = None,
         config: Optional[InstrumentationConfig] = None,
+        function_prefix: str = "",
     ) -> None:
         self.table = table if table is not None else PredicateTable()
         self.config = config if config is not None else InstrumentationConfig()
+        #: Prepended to every site's function name.  The factory sets this
+        #: to ``"<module>:"`` so sites from different modules of one
+        #: package never collide in the shared table; ``exclude_functions``
+        #: still matches on the bare function name.
+        self.function_prefix = function_prefix
 
     # ------------------------------------------------------------------
     # Entry point
@@ -152,7 +164,9 @@ class Instrumenter:
         deterministic source order.
         """
         tree = ast.parse(source, filename=filename)
-        ctx = _FunctionContext(name="<module>", constants=[])
+        ctx = _FunctionContext(
+            name=self.function_prefix + "<module>", constants=[]
+        )
         tree.body = self._process_stmts(tree.body, ctx)
         ast.fix_missing_locations(tree)
         return tree
@@ -335,6 +349,12 @@ class Instrumenter:
                 finalbody=[],
             )
         ]
+        if ctx.is_class_body and pre:
+            # The old-value capture would otherwise survive as a class
+            # attribute named ``_cbi_prev`` on every instrumented class.
+            post = post + [
+                ast.Delete(targets=[ast.Name(id="_cbi_prev", ctx=ast.Del())])
+            ]
         return pre, post
 
     def _emit_float_kind(
@@ -363,6 +383,15 @@ class Instrumenter:
             if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
                 ctx.note_assigned(node.id)
 
+    def _note_pattern_names(self, pattern: ast.AST, ctx: _FunctionContext) -> None:
+        """Record names captured by a ``match`` pattern as assigned."""
+        for node in ast.walk(pattern):
+            if isinstance(node, (ast.MatchAs, ast.MatchStar)):
+                if node.name:
+                    ctx.note_assigned(node.name)
+            elif isinstance(node, ast.MatchMapping) and node.rest:
+                ctx.note_assigned(node.rest)
+
     def _process_stmts(
         self, stmts: Sequence[ast.stmt], ctx: _FunctionContext
     ) -> List[ast.stmt]:
@@ -376,7 +405,7 @@ class Instrumenter:
 
         if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
             inner = _FunctionContext(
-                name=stmt.name,
+                name=self.function_prefix + stmt.name,
                 constants=_collect_constants(stmt),
                 instrument=ctx.instrument and stmt.name not in cfg.exclude_functions,
             )
@@ -392,7 +421,7 @@ class Instrumenter:
             entry_prefix: List[ast.stmt] = []
             if cfg.function_entries and inner.instrument:
                 site = self.table.add_site(
-                    Scheme.FUNCTION_ENTRIES, stmt.name, stmt.lineno, stmt.name
+                    Scheme.FUNCTION_ENTRIES, inner.name, stmt.lineno, stmt.name
                 )
                 entry_prefix = [
                     ast.Expr(
@@ -409,9 +438,10 @@ class Instrumenter:
 
         if isinstance(stmt, ast.ClassDef):
             inner = _FunctionContext(
-                name=stmt.name,
+                name=self.function_prefix + stmt.name,
                 constants=_collect_constants(stmt),
                 instrument=ctx.instrument and stmt.name not in cfg.exclude_functions,
+                is_class_body=True,
             )
             stmt.body = self._process_stmts(stmt.body, inner)
             return [stmt]
@@ -437,7 +467,7 @@ class Instrumenter:
             stmt.orelse = self._process_stmts(stmt.orelse, ctx)
             return [stmt]
 
-        if isinstance(stmt, ast.For):
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
             stmt.iter = self._transform_expr(stmt.iter, ctx)
             self._note_target_names(stmt.target, ctx)
             body_prefix: List[ast.stmt] = []
@@ -450,7 +480,7 @@ class Instrumenter:
             stmt.orelse = self._process_stmts(stmt.orelse, ctx)
             return [stmt]
 
-        if isinstance(stmt, ast.Try):
+        if isinstance(stmt, _TRY_NODES):
             stmt.body = self._process_stmts(stmt.body, ctx)
             for handler in stmt.handlers:
                 if handler.name:
@@ -460,12 +490,28 @@ class Instrumenter:
             stmt.finalbody = self._process_stmts(stmt.finalbody, ctx)
             return [stmt]
 
-        if isinstance(stmt, ast.With):
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
             for item in stmt.items:
                 item.context_expr = self._transform_expr(item.context_expr, ctx)
                 if item.optional_vars is not None:
                     self._note_target_names(item.optional_vars, ctx)
             stmt.body = self._process_stmts(stmt.body, ctx)
+            return [stmt]
+
+        if isinstance(stmt, ast.Match):
+            # Patterns themselves must stay untouched (they are not
+            # expressions), but the subject, the guards, and every case
+            # body are ordinary code and get full instrumentation.  Each
+            # guard is a branch site, like an ``if`` test.
+            stmt.subject = self._transform_expr(stmt.subject, ctx)
+            for case in stmt.cases:
+                self._note_pattern_names(case.pattern, ctx)
+                if case.guard is not None:
+                    desc = _snippet(case.guard)
+                    case.guard = self._transform_expr(case.guard, ctx)
+                    if cfg.branches:
+                        case.guard = self._wrap_branch(ctx, case.guard, desc)
+                case.body = self._process_stmts(case.body, ctx)
             return [stmt]
 
         if isinstance(stmt, ast.Assign):

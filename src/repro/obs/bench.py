@@ -10,7 +10,10 @@ documents at the repo root (or ``--out-dir``):
   observation), the supervised sharded collector's end-to-end throughput
   including its disk commits, and the networked ingestion path's
   reports/sec and MB/s through ``POST /reports`` at upload batch sizes
-  1/32/256 (``serve_ingest``);
+  1/32/256 (``serve_ingest``), plus the subject factory's whole-package
+  instrumentation wall and sites/sec (``factory_instrument``) and the
+  resulting subject's trial throughput
+  (``factory_collection_throughput``);
 * ``BENCH_analysis.json`` -- analysis-side scenarios: streaming-merge
   bandwidth (MB/s over the shard bytes), shard statistics decode
   bandwidth for the v2 ``.npz`` layout vs the v3 memory-mapped layout
@@ -19,7 +22,8 @@ documents at the repo root (or ``--out-dir``):
   three store sizes, and the parallel engine's serial-vs-``--jobs 4``
   scoring walls at the same sizes (speedup is hardware-relative: the
   entry's ``environment.cpu_count`` says how many cores the measurement
-  had).
+  had), plus scoring latency at factory-package predicate counts
+  (``factory_scoring``).
 
 Both documents share schema :data:`BENCH_SCHEMA` (``repro-bench/v1``),
 documented with a worked example in ``docs/OBSERVABILITY.md``; the
@@ -94,16 +98,20 @@ def run_collection_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
     from repro.harness.parallel import run_trials_sharded
     from repro.harness.runner import run_trials
     from repro.instrument.sampling import SamplingPlan
-    from repro.instrument.tracer import instrument_source
 
     n_runs = _scaled(
         _QUICK_THROUGHPUT_RUNS if quick else _FULL_THROUGHPUT_RUNS, scale
     )
     plan = SamplingPlan.uniform(0.01)
     scenarios: List[dict] = []
+    # Builtin subjects only: this per-subject trajectory predates the
+    # factory and must stay comparable release over release.  The factory
+    # path gets its own scenarios below.
     for name in sorted(SUBJECTS):
         subject = SUBJECTS[name]()
-        program = instrument_source(subject.source(), subject.name)
+        if subject.kind != "builtin":
+            continue
+        program = subject.build_program()
         start = time.perf_counter()
         reports, _ = run_trials(subject, program, n_runs, plan, seed=0)
         wall = time.perf_counter() - start
@@ -189,7 +197,6 @@ def run_collection_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
     # drain copies of it through an in-process FeedbackServer at several
     # batch sizes.  Walls include validation, the fsync'd ack WAL and
     # the store commits, i.e. the full durability cost of the service.
-    from repro.instrument.tracer import instrument_source as _instrument
     from repro.serve import (
         CollectionService,
         FeedbackServer,
@@ -200,7 +207,7 @@ def run_collection_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
     from repro.store import ShardStore
 
     subject = SUBJECTS["ccrypt"]()
-    program = _instrument(subject.source(), subject.name)
+    program = subject.build_program()
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         source = ReportSpool(os.path.join(tmp, "spool-source"))
         run_and_spool(subject, program, plan, source, n_runs, seed=0)
@@ -318,6 +325,56 @@ def run_collection_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
                 "steered_bugs_isolated": float(payoff.steered_bugs),
             },
             subject="ccrypt",
+        )
+    )
+
+    # The subject factory: wall to AST-rewrite, compile and exec a whole
+    # multi-module package behind the import hook, the site-registration
+    # rate that implies, and the collection throughput of the resulting
+    # factory subject.  These price the PR10 path and grow their own
+    # trajectory, separate from the builtin per-subject rows above.
+    from repro.factory import corpus as _corpus
+    from repro.factory.loader import instrument_package
+    from repro.factory.subjects import FactorySubject
+
+    package = "jsonscan"
+    sources = _corpus.corpus_sources(package)
+    start = time.perf_counter()
+    fprogram = instrument_package(package, modules=sources)
+    wall = time.perf_counter() - start
+    scenarios.append(
+        _scenario(
+            "factory_instrument",
+            {"package": package, "modules": len(sources)},
+            {
+                "wall_seconds": wall,
+                "sites": float(fprogram.table.n_sites),
+                "sites_per_sec": fprogram.table.n_sites / max(wall, 1e-9),
+            },
+            subject=package,
+        )
+    )
+
+    fsubject = FactorySubject(
+        name=f"bench-{package}",
+        package=package,
+        modules=sources,
+        generator=_corpus.GENERATORS[package],
+        trial_budget=n_runs,
+    )
+    fprogram = fsubject.build_program()
+    start = time.perf_counter()
+    reports, _ = run_trials(fsubject, fprogram, n_runs, plan, seed=0)
+    wall = time.perf_counter() - start
+    scenarios.append(
+        _scenario(
+            "factory_collection_throughput",
+            {"runs": n_runs, "sampling": "uniform", "rate": 0.01},
+            {
+                "wall_seconds": wall,
+                "runs_per_sec": reports.n_runs / max(wall, 1e-9),
+            },
+            subject=package,
         )
     )
     return scenarios
@@ -502,6 +559,45 @@ def run_analysis_scenarios(quick: bool, scale: float = 1.0) -> List[dict]:
                 subject="ccrypt",
             )
         )
+
+    # Scoring at factory site counts: a whole instrumented package has
+    # several times the predicate count of the hand-built analogues, so
+    # this prices the analysis engine at the density the factory emits.
+    from repro.core.engine import AnalysisEngine
+    from repro.factory import corpus as _corpus
+    from repro.factory.subjects import FactorySubject
+    from repro.harness.runner import run_trials
+    from repro.store.incremental import SufficientStats
+
+    package = "jsonscan"
+    fsubject = FactorySubject(
+        name=f"bench-{package}",
+        package=package,
+        modules=_corpus.corpus_sources(package),
+        generator=_corpus.GENERATORS[package],
+        trial_budget=sizes[0],
+    )
+    fprogram = fsubject.build_program()
+    reports, _ = run_trials(
+        fsubject, fprogram, sizes[0], SamplingPlan.full(), seed=0
+    )
+    stats = SufficientStats.from_reports(reports)
+    engine = AnalysisEngine(jobs=1)
+    start = time.perf_counter()
+    engine.score_stats(stats)
+    wall = time.perf_counter() - start
+    scenarios.append(
+        _scenario(
+            "factory_scoring",
+            {"runs": sizes[0], "predicates": fprogram.table.n_predicates},
+            {
+                "wall_seconds": wall,
+                "predicates_per_sec": fprogram.table.n_predicates
+                / max(wall, 1e-9),
+            },
+            subject=package,
+        )
+    )
     return scenarios
 
 

@@ -73,10 +73,39 @@ class Subject(abc.ABC):
     entry: str = "main"
     bug_ids: Sequence[str] = ()
     trial_budget: int = 2000
+    #: ``"builtin"`` for the hand-built analogues, ``"factory"`` for
+    #: subjects manufactured by :mod:`repro.factory`.
+    kind: str = "builtin"
 
     @abc.abstractmethod
     def source(self) -> str:
         """Return the program source text to instrument."""
+
+    def build_program(self, config=None, table=None):
+        """Instrument this subject and return an ``InstrumentedProgram``.
+
+        Every production consumer (collect/analyze/serve/bakeoff/bench)
+        builds programs through this method so factory subjects -- whose
+        programs span several modules behind an import hook -- slot in
+        transparently.  The base implementation instruments the single
+        :meth:`source` module.
+        """
+        from repro.instrument.tracer import instrument_source
+
+        return instrument_source(
+            self.source(), name=self.name, config=config, table=table
+        )
+
+    def bug_sites(self):
+        """Static ground-truth ``record_bug`` sites for this subject.
+
+        Aligned with the function names :meth:`build_program` registers
+        in the predicate table; factory subjects override this to scan
+        every module with its qualifying prefix.
+        """
+        from repro.core.truth import bug_sites_from_source
+
+        return bug_sites_from_source(self.source())
 
     @abc.abstractmethod
     def generate_input(self, rng: random.Random) -> Any:

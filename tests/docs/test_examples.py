@@ -28,7 +28,7 @@ TINY_REPLAYS = "20"
 
 
 def test_examples_directory_is_covered():
-    assert len(EXAMPLES) == 7, "new example? add it to the smoke run"
+    assert len(EXAMPLES) == 8, "new example? add it to the smoke run"
 
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=[os.path.basename(p) for p in EXAMPLES])

@@ -1,0 +1,72 @@
+"""The seeded corpus end-to-end: failure rates and isolation quality.
+
+These are the acceptance tests for the mutation corpus: every pinned
+bug must actually fail sometimes (but not always) over its generator's
+input distribution, and every injected bug must be isolated at rank
+<= 5 by at least one registered suspiciousness measure.  One shared
+bake-off run feeds both, so the lane stays affordable.
+"""
+
+import pytest
+
+from repro.factory import corpus
+from repro.factory.subjects import corpus_subjects
+from repro.harness.bakeoff import run_bakeoff
+
+RUNS = 300
+ISOLATION_RANK = 5
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def bakeoff_document():
+    return run_bakeoff(corpus_subjects(), runs=RUNS, seed=0)
+
+
+BUG_NAMES = sorted(bug.name for bug in corpus.CORPUS_BUGS)
+
+
+class TestFailureRates:
+    @pytest.mark.parametrize("name", BUG_NAMES)
+    def test_failure_rate_strictly_inside_unit_interval(
+        self, bakeoff_document, name
+    ):
+        doc = bakeoff_document["subjects"][name]
+        assert doc["runs"] == RUNS
+        assert 0 < doc["failing"] < RUNS, (name, doc["failing"])
+
+    @pytest.mark.parametrize("name", BUG_NAMES)
+    def test_injected_bug_occurs_and_is_gradeable(self, bakeoff_document, name):
+        doc = bakeoff_document["subjects"][name]
+        assert doc["kind"] == "factory"
+        assert doc["faulty_predicates"] > 0
+        assert doc["bug_sites"][0]["bug_id"] == name
+
+
+class TestIsolation:
+    @pytest.mark.parametrize("name", BUG_NAMES)
+    def test_some_measure_isolates_within_rank_five(
+        self, bakeoff_document, name
+    ):
+        """ISSUE acceptance: each injected bug ranks <= 5 under at least
+        one registered measure."""
+        ranks = {}
+        for entry in bakeoff_document["measures"]:
+            cell = entry["results"][name]
+            ranks[entry["measure"]] = cell["rank_of_first_faulty_site"]
+        best = min(r for r in ranks.values() if r is not None)
+        assert best <= ISOLATION_RANK, (name, ranks)
+
+    def test_mutation_classes_section_summarises_every_class(
+        self, bakeoff_document
+    ):
+        section = bakeoff_document["mutation_classes"]
+        classes = {bug.spec.operator for bug in corpus.CORPUS_BUGS}
+        for measure, per_class in section.items():
+            assert set(per_class) == classes, measure
+            for cls, summary in per_class.items():
+                assert summary["subjects"] == len(
+                    [b for b in corpus.CORPUS_BUGS if b.spec.operator == cls]
+                )
+                assert set(summary["ranks"]) <= set(BUG_NAMES)

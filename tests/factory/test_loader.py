@@ -1,0 +1,137 @@
+"""Whole-package instrumentation: shared tables, stability, hygiene."""
+
+import sys
+
+import pytest
+
+from repro.factory import corpus
+from repro.factory.loader import (
+    function_prefix,
+    instrument_package,
+    module_filename,
+    package_modules,
+    pristine_namespace,
+    program_filename,
+)
+
+
+@pytest.fixture(scope="module")
+def jsonscan_program():
+    return instrument_package(
+        "jsonscan", modules=corpus.corpus_sources("jsonscan")
+    )
+
+
+class TestMultiModule:
+    def test_cross_module_imports_share_one_table(self, jsonscan_program):
+        """Both modules' sites land in a single PredicateTable, with
+        module-qualified function names keeping them distinct."""
+        table = jsonscan_program.table
+        prefixes = {site.function.split(":", 1)[0] for site in table.sites}
+        assert prefixes == {"jsonscan", "jsonscan.scanner"}
+        # The root module's parse() drives scanner functions through a
+        # real cross-module import; both must observe into the table.
+        entry = jsonscan_program.func("main")
+        from repro.instrument.sampling import SamplingPlan
+
+        jsonscan_program.begin_run(SamplingPlan.full(), seed=1)
+        entry({"op": "parse", "text": "[1, 2, {\"a\": null}]"})
+        site_obs, _pred_true = jsonscan_program.end_run()
+        observed_functions = {
+            table.sites[i].function for i in site_obs
+        }
+        assert any(f.startswith("jsonscan.scanner:") for f in observed_functions)
+        assert any(f.startswith("jsonscan:") for f in observed_functions)
+
+    def test_site_ids_stable_across_reinstrumentation(self):
+        sources = corpus.corpus_sources("jsonscan")
+        first = instrument_package("jsonscan", modules=sources)
+        second = instrument_package("jsonscan", modules=sources)
+        assert first.table.signature() == second.table.signature()
+        assert [
+            (s.index, s.function, s.line, str(s.scheme))
+            for s in first.table.sites
+        ] == [
+            (s.index, s.function, s.line, str(s.scheme))
+            for s in second.table.sites
+        ]
+
+    def test_every_module_body_executed_upfront(self, jsonscan_program):
+        assert set(jsonscan_program.modules) == {"jsonscan", "jsonscan.scanner"}
+        scanner = jsonscan_program.modules["jsonscan.scanner"]
+        assert callable(scanner.tokenize)
+
+    def test_namespace_is_root_module_globals(self, jsonscan_program):
+        assert callable(jsonscan_program.func("main"))
+        assert callable(jsonscan_program.func("parse"))
+
+    def test_filenames_share_crash_stack_prefix(self):
+        prog = program_filename("jsonscan")
+        mod = module_filename("jsonscan", "jsonscan.scanner")
+        assert mod.startswith(prog.rstrip(">"))
+
+    def test_function_prefix_shape(self):
+        assert function_prefix("jsonscan.scanner") == "jsonscan.scanner:"
+
+
+class TestInterpreterHygiene:
+    def test_sys_modules_not_polluted(self):
+        assert "jsonscan" not in sys.modules
+        instrument_package("jsonscan", modules=corpus.corpus_sources("jsonscan"))
+        assert "jsonscan" not in sys.modules
+        assert "jsonscan.scanner" not in sys.modules
+
+    def test_shadowed_modules_restored(self):
+        sentinel = object()
+        sys.modules["jsonscan"] = sentinel
+        try:
+            instrument_package(
+                "jsonscan", modules=corpus.corpus_sources("jsonscan")
+            )
+            assert sys.modules["jsonscan"] is sentinel
+        finally:
+            del sys.modules["jsonscan"]
+
+    def test_meta_path_restored(self):
+        before = list(sys.meta_path)
+        instrument_package("jsonscan", modules=corpus.corpus_sources("jsonscan"))
+        assert sys.meta_path == before
+
+    def test_root_module_required(self):
+        with pytest.raises(ValueError, match="root module"):
+            instrument_package("jsonscan", modules={"jsonscan.scanner": "x = 1"})
+
+
+class TestPristine:
+    def test_pristine_namespace_uninstrumented_and_cached(self):
+        sources = corpus.corpus_sources("jsonscan")
+        ns = pristine_namespace("jsonscan", sources)
+        assert ns["parse"]('{"k": [1, 2]}') == {"k": [1, 2]}
+        assert "_cbi" not in ns
+        assert pristine_namespace("jsonscan", sources) is ns
+
+    def test_distinct_sources_get_distinct_cache_entries(self):
+        sources = corpus.corpus_sources("jsonscan")
+        mutated = dict(sources)
+        mutated["jsonscan.scanner"] = sources["jsonscan.scanner"].replace(
+            "def tokenize", "def _renamed_tokenize", 1
+        )
+        assert pristine_namespace("jsonscan", sources) is not pristine_namespace(
+            "jsonscan", mutated
+        )
+
+
+class TestPackageModules:
+    def test_reads_installed_package(self):
+        mods = package_modules("json")
+        assert "json" in mods
+        assert "json.decoder" in mods
+        assert "def loads" in mods["json"]
+
+    def test_plain_module_maps_to_itself(self):
+        mods = package_modules("bisect")
+        assert set(mods) == {"bisect"}
+
+    def test_missing_package_rejected(self):
+        with pytest.raises(ModuleNotFoundError):
+            package_modules("no_such_package_xyz")

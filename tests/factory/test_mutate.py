@@ -1,0 +1,131 @@
+"""The deterministic mutation engine: candidates, stamps, determinism."""
+
+import ast
+
+import pytest
+
+from repro.factory.mutate import (
+    MUTATION_CLASSES,
+    MutationSpec,
+    apply_mutation,
+    count_candidates,
+)
+
+SAMPLE = '''\
+LIMIT = 10 - 3  # module-level: never a candidate
+
+def clamp(x, lo=0 + 1, hi=9):
+    if x < lo:
+        return lo
+    while x > hi:
+        x = x - 1
+    return x
+
+class Box:
+    SIZE = 4 + 4  # class body: never a candidate
+
+    def shrink(self, n):
+        if n <= self.SIZE:
+            return n + 1
+        return n
+
+square = lambda v: v * v  # lambda body: never a candidate
+'''
+
+
+def _spec(operator, occurrence, bug_id="b1", module="m"):
+    return MutationSpec(
+        bug_id=bug_id, module=module, operator=operator, occurrence=occurrence
+    )
+
+
+class TestCandidates:
+    def test_counts_exclude_non_function_code(self):
+        # operator-swap: `x - 1` in clamp, `n + 1` in shrink.  The
+        # module-level `10 - 3`, the default `0 + 1`, the class-body
+        # `4 + 4` and the lambda `v * v` are all excluded.
+        assert count_candidates(SAMPLE, "operator-swap") == 2
+        # negated-condition: the if and while in clamp, the if in shrink.
+        assert count_candidates(SAMPLE, "negated-condition") == 3
+        # boundary-relaxation: x < lo, x > hi, n <= self.SIZE.
+        assert count_candidates(SAMPLE, "boundary-relaxation") == 3
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError, match="unknown mutation operator"):
+            count_candidates(SAMPLE, "bit-flip")
+
+    def test_occurrence_out_of_range_raises_index_error(self):
+        n = count_candidates(SAMPLE, "operator-swap")
+        with pytest.raises(IndexError, match="out of range"):
+            apply_mutation(SAMPLE, _spec("operator-swap", n))
+
+    @pytest.mark.parametrize("operator", MUTATION_CLASSES)
+    def test_every_class_has_candidates_here(self, operator):
+        assert count_candidates(SAMPLE, operator) > 0
+
+
+class TestApply:
+    @pytest.mark.parametrize("operator", MUTATION_CLASSES)
+    def test_deterministic(self, operator):
+        a = apply_mutation(SAMPLE, _spec(operator, 0))
+        b = apply_mutation(SAMPLE, _spec(operator, 0))
+        assert a == b
+
+    @pytest.mark.parametrize("operator", MUTATION_CLASSES)
+    def test_mutant_compiles_and_differs(self, operator):
+        mutated = apply_mutation(SAMPLE, _spec(operator, 0))
+        compile(mutated, "<mutant>", "exec")
+        assert ast.dump(ast.parse(mutated)) != ast.dump(ast.parse(SAMPLE))
+
+    @pytest.mark.parametrize("operator", MUTATION_CLASSES)
+    def test_stamp_lands_inside_a_function(self, operator):
+        """record_bug must sit in the function owning the mutated node,
+        so function-granularity ground truth attributes it correctly."""
+        mutated = apply_mutation(SAMPLE, _spec(operator, 0, bug_id="tag77"))
+        assert mutated.count("record_bug('tag77')") == 1
+        tree = ast.parse(mutated)
+        hits = []
+        for fn in ast.walk(tree):
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for node in ast.walk(fn):
+                    if (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Name)
+                        and node.func.id == "record_bug"
+                    ):
+                        hits.append(fn.name)
+        assert len(hits) == 1
+
+    def test_occurrences_hit_distinct_nodes(self):
+        first = apply_mutation(SAMPLE, _spec("operator-swap", 0))
+        second = apply_mutation(SAMPLE, _spec("operator-swap", 1))
+        assert first != second
+        assert "x + 1" in first  # clamp's `x - 1` swapped
+        assert "n - 1" in second  # shrink's `n + 1` swapped
+
+    def test_off_by_one_increments_int_literal(self):
+        mutated = apply_mutation(SAMPLE, _spec("off-by-one", 0))
+        # First in-function int literal is `lo` comparison path's... the
+        # `1` in `x - 1` stays; the first candidate in source order is
+        # the `1` of `x = x - 1` only after the comparisons, which hold
+        # no literals -- so `x = x - 2` appears.
+        assert "x - 2" in mutated
+
+    def test_negated_condition_wraps_test(self):
+        mutated = apply_mutation(SAMPLE, _spec("negated-condition", 0))
+        assert "if not x < lo:" in mutated
+
+    def test_boundary_relaxation_flips_strictness(self):
+        mutated = apply_mutation(SAMPLE, _spec("boundary-relaxation", 0))
+        assert "x <= lo" in mutated
+
+    def test_mutant_behaviour_actually_changes(self):
+        namespace_good, namespace_bad = {}, {}
+        exec(compile(SAMPLE, "<good>", "exec"), namespace_good)
+        mutated = apply_mutation(SAMPLE, _spec("negated-condition", 0))
+        namespace_bad["record_bug"] = lambda _bug: None
+        exec(compile(mutated, "<bad>", "exec"), namespace_bad)
+        inputs = range(-3, 14)
+        good = [namespace_good["clamp"](x) for x in inputs]
+        bad = [namespace_bad["clamp"](x) for x in inputs]
+        assert good != bad

@@ -1,0 +1,182 @@
+"""FactorySubject: protocol conformance, budgets, oracles, determinism."""
+
+import pickle
+import random
+
+import pytest
+
+from repro.factory import corpus
+from repro.factory.mutate import MUTATION_CLASSES, MutationSpec
+from repro.factory.subjects import (
+    MAX_BUDGET,
+    MIN_BUDGET,
+    FactorySubject,
+    corpus_subjects,
+)
+
+
+def _wrapx_subject(**kwargs):
+    return FactorySubject(
+        name="wrapx-test",
+        package="wrapx",
+        modules=corpus.corpus_sources("wrapx"),
+        generator=corpus.wrapx_job,
+        mutation=MutationSpec(
+            bug_id="wrapx-test",
+            module="wrapx",
+            operator="operator-swap",
+            occurrence=0,
+        ),
+        **kwargs,
+    )
+
+
+class TestProtocol:
+    def test_kind_and_entry(self):
+        subject = _wrapx_subject()
+        assert subject.kind == "factory"
+        assert subject.entry == "main"
+        assert subject.bug_ids == ("wrapx-test",)
+
+    def test_mutation_class_property(self):
+        assert _wrapx_subject().mutation_class == "operator-swap"
+        plain = FactorySubject(
+            name="plain",
+            package="wrapx",
+            modules=corpus.corpus_sources("wrapx"),
+            generator=corpus.wrapx_job,
+        )
+        assert plain.mutation_class is None
+
+    def test_mutation_must_target_a_module(self):
+        with pytest.raises(ValueError, match="not a module"):
+            FactorySubject(
+                name="x",
+                package="wrapx",
+                modules=corpus.corpus_sources("wrapx"),
+                generator=corpus.wrapx_job,
+                mutation=MutationSpec(
+                    bug_id="x",
+                    module="nothere",
+                    operator="off-by-one",
+                    occurrence=0,
+                ),
+            )
+
+    def test_source_contains_stamp(self):
+        assert "record_bug('wrapx-test')" in _wrapx_subject().source()
+
+    def test_bug_sites_module_qualified(self):
+        sites = _wrapx_subject().bug_sites()
+        assert len(sites) == 1
+        assert sites[0].bug_id == "wrapx-test"
+        assert sites[0].function.startswith("wrapx:")
+
+    def test_subject_pickles(self):
+        subject = _wrapx_subject(trial_budget=500)
+        clone = pickle.loads(pickle.dumps(subject))
+        assert clone.name == subject.name
+        assert clone.source() == subject.source()
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        assert clone.generate_input(rng_a) == subject.generate_input(rng_b)
+
+
+class TestOracle:
+    def test_differential_oracle_accepts_pristine_behaviour(self):
+        subject = _wrapx_subject()
+        job = {"op": "dedent", "text": "  a\n  b", "width": 10, "prefix": "> "}
+        from repro.factory.loader import pristine_namespace
+
+        expected = pristine_namespace("wrapx", corpus.corpus_sources("wrapx"))[
+            "main"
+        ](job)
+        assert subject.oracle(job, expected) is True
+        assert subject.oracle(job, "definitely wrong") is False
+
+    def test_custom_oracle_wins(self):
+        subject = FactorySubject(
+            name="x",
+            package="wrapx",
+            modules=corpus.corpus_sources("wrapx"),
+            generator=corpus.wrapx_job,
+            oracle=lambda _inp, out: out == "ok",
+        )
+        assert subject.oracle({}, "ok") is True
+        assert subject.oracle({}, "nope") is False
+
+
+class TestTrialBudget:
+    def test_fixed_budget_respected(self):
+        assert _wrapx_subject(trial_budget=1234).trial_budget == 1234
+
+    def test_derived_budget_deterministic_and_clamped(self):
+        subject = _wrapx_subject()
+        budget = subject.derive_trial_budget(probe_trials=24)
+        again = _wrapx_subject().derive_trial_budget(probe_trials=24)
+        assert budget == again
+        assert MIN_BUDGET <= budget <= MAX_BUDGET
+
+    def test_budget_cached_per_name(self):
+        subject = _wrapx_subject()
+        first = subject.trial_budget
+        assert subject.trial_budget == first
+
+
+class TestCorpusRegistry:
+    def test_corpus_names_match_bugs(self):
+        entries = corpus_subjects()
+        assert set(entries) == {bug.name for bug in corpus.CORPUS_BUGS}
+        assert len(entries) >= 10
+
+    def test_all_mutation_classes_and_packages_covered(self):
+        classes = {bug.spec.operator for bug in corpus.CORPUS_BUGS}
+        packages = {bug.package for bug in corpus.CORPUS_BUGS}
+        assert classes == set(MUTATION_CLASSES)
+        assert packages == set(corpus.corpus_packages())
+
+    def test_entries_construct_and_pickle(self):
+        entries = corpus_subjects()
+        name = sorted(entries)[0]
+        subject = entries[name]()
+        assert subject.kind == "factory"
+        assert subject.name == name
+        clone = pickle.loads(pickle.dumps(entries[name]))
+        assert clone().name == name
+
+    def test_every_spec_within_candidate_range(self):
+        """Pinned occurrence indices must be valid for their module --
+        a stale index after editing corpus sources fails here, not
+        deep inside a collection run."""
+        from repro.factory.mutate import count_candidates
+
+        for bug in corpus.CORPUS_BUGS:
+            source = corpus.corpus_sources(bug.package)[bug.spec.module]
+            n = count_candidates(source, bug.spec.operator)
+            assert 0 <= bug.spec.occurrence < n, (bug.name, n)
+
+
+class TestShardDeterminism:
+    def test_shard_shas_bit_identical_across_builds(self, tmp_path):
+        """Two independent factory builds of the same package+spec must
+        produce byte-identical shard files for the same seeds."""
+        from repro.core.io import file_sha256
+        from repro.harness.parallel import run_trials_sharded
+        from repro.instrument.sampling import SamplingPlan
+
+        digests = []
+        for build in ("a", "b"):
+            subject = _wrapx_subject(trial_budget=400)
+            store = run_trials_sharded(
+                subject,
+                40,
+                SamplingPlan.full(),
+                str(tmp_path / build),
+                seed=0,
+                jobs=2,
+                chunk_size=10,
+            )
+            digests.append(
+                [file_sha256(path) for path in sorted(store.shard_paths())]
+            )
+        assert digests[0] == digests[1]
+        assert len(digests[0]) == 4

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import SUBJECTS, build_parser, main
+from repro.factory.mutate import MUTATION_CLASSES
 
 
 class TestParser:
@@ -317,6 +318,13 @@ class TestListJson:
             assert entry["bug_count"] == len(subject.bug_ids)
             assert entry["trial_budget"] == subject.trial_budget
             assert entry["trial_budget"] > 0
+            assert entry["kind"] == subject.kind
+            assert entry["n_sites"] > 0
+            assert entry["n_predicates"] > entry["n_sites"]
+            if entry["kind"] == "factory":
+                assert entry["mutation_class"] in MUTATION_CLASSES
+            else:
+                assert entry["mutation_class"] is None
 
 
 class TestJobsDefaultsUnified:

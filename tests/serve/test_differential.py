@@ -37,6 +37,9 @@ SUBJECT_RUNS = [
     ("bc", 50),
     ("exif", 45),
     ("rhythmbox", 45),
+    # One factory-made, multi-module subject: the networked path must be
+    # bit-identical for manufactured subjects too.
+    ("jsonscan-off1", 40),
 ]
 
 BATCH_RUNS = 20  # server shard size == local chunk_size, so layouts match
@@ -117,7 +120,7 @@ def _assert_stores_identical(served: ShardStore, local: ShardStore):
 def test_networked_collection_bit_identical(tmp_path, name, n_runs):
     subject = _subject(name)
     plan = SamplingPlan.full()
-    program = instrument_source(subject.source(), subject.name)
+    program = subject.build_program()
 
     local = _local_store(tmp_path / "local", subject, n_runs)
 
